@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) for the STM primitives: transaction
+// begin/commit, open costs, contention-manager decision overhead, EBR
+// retire, and structure operations at a fixed size. These quantify the
+// constant factors under every figure bench.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cm/registry.hpp"
+#include "stm/runtime.hpp"
+#include "structs/intset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wstm;
+
+struct Fixture {
+  explicit Fixture(const std::string& cm_name = "Polka") {
+    cm::Params params;
+    params.threads = 2;
+    rt = std::make_unique<stm::Runtime>(cm::make_manager(cm_name, params));
+    tc = &rt->attach_thread();
+  }
+  std::unique_ptr<stm::Runtime> rt;
+  stm::ThreadCtx* tc;
+};
+
+void BM_EmptyTransaction(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    f.rt->atomically(*f.tc, [](stm::Tx&) {});
+  }
+}
+BENCHMARK(BM_EmptyTransaction);
+
+void BM_ReadOneObject(benchmark::State& state) {
+  Fixture f;
+  stm::TObject<long> obj(7);
+  for (auto _ : state) {
+    long v = f.rt->atomically(*f.tc, [&](stm::Tx& tx) { return *obj.open_read(tx); });
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ReadOneObject);
+
+void BM_WriteOneObject(benchmark::State& state) {
+  Fixture f;
+  stm::TObject<long> obj(0);
+  for (auto _ : state) {
+    f.rt->atomically(*f.tc, [&](stm::Tx& tx) { *obj.open_write(tx) += 1; });
+  }
+}
+BENCHMARK(BM_WriteOneObject);
+
+void BM_OpenReadMany(benchmark::State& state) {
+  Fixture f;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<stm::TObject<long>>> objs;
+  for (std::size_t i = 0; i < count; ++i) objs.push_back(std::make_unique<stm::TObject<long>>(1));
+  for (auto _ : state) {
+    long sum = f.rt->atomically(*f.tc, [&](stm::Tx& tx) {
+      long s = 0;
+      for (auto& o : objs) s += *o->open_read(tx);
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_OpenReadMany)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_IntSetContains(benchmark::State& state) {
+  Fixture f;
+  const std::string kind = state.range(0) == 0 ? "list" : state.range(0) == 1 ? "rbtree"
+                                                                              : "skiplist";
+  auto set = structs::make_intset(kind);
+  for (long k = 0; k < 256; k += 2) {
+    f.rt->atomically(*f.tc, [&](stm::Tx& tx) { set->insert(tx, k); });
+  }
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.below(256));
+    bool v = f.rt->atomically(*f.tc, [&](stm::Tx& tx) { return set->contains(tx, key); });
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel(kind);
+}
+BENCHMARK(BM_IntSetContains)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IntSetUpdateMix(benchmark::State& state) {
+  Fixture f;
+  const std::string kind = state.range(0) == 0 ? "list" : state.range(0) == 1 ? "rbtree"
+                                                                              : "skiplist";
+  auto set = structs::make_intset(kind);
+  for (long k = 0; k < 256; k += 2) {
+    f.rt->atomically(*f.tc, [&](stm::Tx& tx) { set->insert(tx, k); });
+  }
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.below(256));
+    if (rng.below(2) == 0) {
+      f.rt->atomically(*f.tc, [&](stm::Tx& tx) { return set->insert(tx, key); });
+    } else {
+      f.rt->atomically(*f.tc, [&](stm::Tx& tx) { return set->remove(tx, key); });
+    }
+  }
+  state.SetLabel(kind);
+}
+BENCHMARK(BM_IntSetUpdateMix)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_CmResolve(benchmark::State& state) {
+  static const char* kNames[] = {"Polka", "Greedy", "Priority", "Aggressive",
+                                 "RandomizedRounds", "Online-Dynamic"};
+  const std::string name = kNames[state.range(0)];
+  Fixture f(name);
+  stm::TxDesc me, enemy;
+  me.thread_slot = 0;
+  enemy.thread_slot = 1;
+  me.first_begin_ns = 1;      // we are older: every manager decides without
+  enemy.first_begin_ns = 2;   // waiting, so this measures pure decision cost
+  me.karma.store(5);
+  enemy.karma.store(1);
+  me.rand_prio.store(1);
+  enemy.rand_prio.store(2);
+  me.prio_class.store(0);
+  enemy.prio_class.store(1);
+  for (auto _ : state) {
+    auto r = f.rt->manager().resolve(*f.tc, me, enemy, stm::ConflictKind::kWriteWrite);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_CmResolve)->DenseRange(0, 5);
+
+void BM_EbrRetire(benchmark::State& state) {
+  ebr::Domain domain;
+  ebr::Handle h = domain.attach();
+  for (auto _ : state) {
+    ebr::Guard g(h);
+    h.retire(new long(1));
+  }
+}
+BENCHMARK(BM_EbrRetire);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(100));
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+
+BENCHMARK_MAIN();

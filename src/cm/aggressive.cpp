@@ -1,0 +1,15 @@
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+
+namespace wstm::cm {
+
+// Aggressive (Herlihy et al., DSTM): the attacker always wins. Livelock-
+// prone under symmetric contention, which is exactly why it is a useful
+// lower-bound baseline.
+stm::Resolution Aggressive::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                    stm::ConflictKind kind) {
+  (void)self, (void)tx, (void)enemy, (void)kind;
+  return stm::Resolution::kAbortEnemy;
+}
+
+}  // namespace wstm::cm

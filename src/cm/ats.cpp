@@ -1,0 +1,64 @@
+#include <chrono>
+
+#include "cm/schedulers.hpp"
+#include "stm/runtime.hpp"
+#include "util/backoff.hpp"
+
+namespace wstm::cm {
+
+void Ats::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
+  (void)tx, (void)is_retry;
+  PerThread& st = *state_[self.slot()];
+  if (!st.initialized) {
+    st.ci.set_alpha(alpha_);
+    st.initialized = true;
+  }
+  // High contention intensity: enter the serialization lane for the rest of
+  // this logical transaction (held across retries, released at commit).
+  if (!st.holds_lane && st.ci.value() > threshold_) {
+    lane_.lock();
+    st.holds_lane = true;
+    serialized_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Ats::on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  (void)tx;
+  PerThread& st = *state_[self.slot()];
+  st.ci.on_attempt_end(st.conflicted);
+  st.conflicted = false;
+  if (st.holds_lane) {
+    st.holds_lane = false;
+    lane_.unlock();
+  }
+}
+
+void Ats::on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  (void)tx;
+  PerThread& st = *state_[self.slot()];
+  st.ci.on_attempt_end(true);
+  st.conflicted = false;
+}
+
+stm::Resolution Ats::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                             stm::ConflictKind kind) {
+  (void)kind;
+  state_[self.slot()]->conflicted = true;
+  // Timestamp-style arbitration underneath the scheduler.
+  const bool i_am_older =
+      tx.first_begin_ns < enemy.first_begin_ns ||
+      (tx.first_begin_ns == enemy.first_begin_ns && tx.thread_slot < enemy.thread_slot);
+  if (i_am_older) return stm::Resolution::kAbortEnemy;
+  constexpr std::uint32_t kPatience = 8;
+  for (std::uint32_t k = 0; k < kPatience; ++k) {
+    if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+    if (!enemy.is_active()) return stm::Resolution::kRetry;
+    yield_until(std::chrono::microseconds(4),
+                [&] { return !enemy.is_active() || !tx.is_active(); });
+  }
+  if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+  if (!enemy.is_active()) return stm::Resolution::kRetry;
+  return stm::Resolution::kAbortEnemy;
+}
+
+}  // namespace wstm::cm

@@ -1,0 +1,143 @@
+// The classic contention managers the paper compares against (Section
+// III-A) plus the other managers from the DSTM/DSTM2 literature that the
+// paper cites — useful as additional baselines and in the ablation benches.
+//
+//   Polka       — Karma priorities + exponential backoff while waiting; the
+//                 "published best" CM (Scherer & Scott, PODC'05).
+//   Greedy      — static timestamps, abort the younger unless the older is
+//                 waiting (Guerraoui, Herlihy, Pochon, PODC'05).
+//   Priority    — static timestamps, younger always aborts itself.
+//   Karma       — accrued-work priorities, fixed backoff while out-ranked.
+//   Polite      — exponential backoff N times, then abort the enemy.
+//   Aggressive  — always abort the enemy.
+//   Timestamp   — like Greedy but with a bounded patience instead of the
+//                 waiting flag.
+//   RandomizedRounds — random priorities redrawn after every abort
+//                 (Schneider & Wattenhofer, DISC'09); the subroutine the
+//                 window Online algorithm builds on.
+//
+// All waiting is yielding (never a hard spin) so enemies can run even when
+// software threads outnumber hardware threads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "cm/manager.hpp"
+#include "util/cacheline.hpp"
+
+namespace wstm::cm {
+
+class Polka final : public ContentionManager {
+ public:
+  std::string name() const override { return "Polka"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+  void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) override;
+  void on_open(stm::ThreadCtx& self, stm::TxDesc& tx) override;
+  void on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) override;
+
+ private:
+  // Karma persists across the retries of one logical transaction.
+  std::array<CacheAligned<std::uint32_t>, 64> saved_karma_{};
+};
+
+class Greedy final : public ContentionManager {
+ public:
+  std::string name() const override { return "Greedy"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+};
+
+class Priority final : public ContentionManager {
+ public:
+  std::string name() const override { return "Priority"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+};
+
+class Karma final : public ContentionManager {
+ public:
+  std::string name() const override { return "Karma"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+  void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) override;
+  void on_open(stm::ThreadCtx& self, stm::TxDesc& tx) override;
+
+ private:
+  std::array<CacheAligned<std::uint32_t>, 64> saved_karma_{};
+};
+
+class Polite final : public ContentionManager {
+ public:
+  std::string name() const override { return "Polite"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+};
+
+class Aggressive final : public ContentionManager {
+ public:
+  std::string name() const override { return "Aggressive"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+};
+
+class Timestamp final : public ContentionManager {
+ public:
+  std::string name() const override { return "Timestamp"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+};
+
+/// Kindergarten (Scherer & Scott): "take turns". Each thread keeps a list
+/// of enemies in whose favor it previously backed off; meeting one of them
+/// again means it is our turn, so the enemy is aborted. A fresh enemy gets
+/// one deferral (we back off briefly and remember it), and repeated
+/// patience is bounded.
+class Kindergarten final : public ContentionManager {
+ public:
+  std::string name() const override { return "Kindergarten"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+  void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) override;
+
+ private:
+  struct HitList {
+    std::array<std::uint32_t, 64> deferred_to{};  // per enemy slot: count
+  };
+  std::array<CacheAligned<HitList>, 64> lists_{};
+};
+
+/// Eruption (Scherer & Scott): blocked transactions transfer their accrued
+/// priority ("pressure") to the transaction blocking them, so a blocker at
+/// the head of a long chain erupts through quickly. Pressure rides on the
+/// karma field; waiting adds the waiter's karma to the enemy.
+class Eruption final : public ContentionManager {
+ public:
+  std::string name() const override { return "Eruption"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+  void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) override;
+  void on_open(stm::ThreadCtx& self, stm::TxDesc& tx) override;
+
+ private:
+  std::array<CacheAligned<std::uint32_t>, 64> saved_karma_{};
+};
+
+class RandomizedRounds final : public ContentionManager {
+ public:
+  /// `threads` is M, the range of the random priority draw.
+  explicit RandomizedRounds(std::uint32_t threads) : threads_(threads) {}
+
+  std::string name() const override { return "RandomizedRounds"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+  void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) override;
+  void on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) override;
+
+ private:
+  std::uint32_t threads_;
+};
+
+}  // namespace wstm::cm

@@ -1,0 +1,37 @@
+#include <chrono>
+
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+#include "util/backoff.hpp"
+
+namespace wstm::cm {
+
+void Eruption::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
+  if (!is_retry) *saved_karma_[self.slot()] = 0;
+  tx.karma.store(*saved_karma_[self.slot()], std::memory_order_release);
+}
+
+void Eruption::on_open(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  const std::uint32_t k = ++*saved_karma_[self.slot()];
+  tx.karma.store(k, std::memory_order_release);
+}
+
+stm::Resolution Eruption::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                  stm::ConflictKind kind) {
+  (void)self, (void)kind;
+  const std::uint32_t mine = tx.karma.load(std::memory_order_acquire);
+  const std::uint32_t theirs = enemy.karma.load(std::memory_order_acquire);
+  if (mine > theirs) return stm::Resolution::kAbortEnemy;
+
+  // Blocked: push our pressure onto the blocker so chains erupt, then give
+  // it a short slice. The transferred karma stays with the enemy attempt —
+  // if it aborts anyway, the pressure dissipates with it (as in the
+  // original, which tolerates imprecise pressure accounting).
+  enemy.karma.fetch_add(mine + 1, std::memory_order_acq_rel);
+  yield_until(std::chrono::microseconds(4),
+              [&] { return !enemy.is_active() || !tx.is_active(); });
+  if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+  return stm::Resolution::kRetry;
+}
+
+}  // namespace wstm::cm

@@ -1,0 +1,30 @@
+#include <thread>
+
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+
+namespace wstm::cm {
+
+// Greedy (Guerraoui, Herlihy, Pochon): the timestamp is the first-attempt
+// begin time, so it only grows stale — an old transaction eventually
+// out-ranks everything and commits (pending-commit property). Rule: abort
+// the enemy when we are older, or when the enemy is itself blocked waiting;
+// otherwise wait.
+stm::Resolution Greedy::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                stm::ConflictKind kind) {
+  (void)self, (void)kind;
+  const bool i_am_older =
+      tx.first_begin_ns < enemy.first_begin_ns ||
+      (tx.first_begin_ns == enemy.first_begin_ns && tx.thread_slot < enemy.thread_slot);
+  if (i_am_older) return stm::Resolution::kAbortEnemy;
+  if (enemy.waiting.load(std::memory_order_acquire)) return stm::Resolution::kAbortEnemy;
+
+  // Enemy is older and running: wait (visibly, so others may kill us).
+  tx.waiting.store(true, std::memory_order_release);
+  std::this_thread::yield();
+  tx.waiting.store(false, std::memory_order_release);
+  if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+  return stm::Resolution::kRetry;
+}
+
+}  // namespace wstm::cm

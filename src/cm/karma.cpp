@@ -1,0 +1,37 @@
+#include <chrono>
+
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+#include "util/backoff.hpp"
+
+namespace wstm::cm {
+
+void Karma::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
+  if (!is_retry) *saved_karma_[self.slot()] = 0;
+  tx.karma.store(*saved_karma_[self.slot()], std::memory_order_release);
+}
+
+void Karma::on_open(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  const std::uint32_t k = ++*saved_karma_[self.slot()];
+  tx.karma.store(k, std::memory_order_release);
+}
+
+// Karma (Scherer & Scott): wait in short fixed slices, counting attempts;
+// abort the enemy once attempts + own karma outweigh the enemy's karma.
+stm::Resolution Karma::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                               stm::ConflictKind kind) {
+  (void)self, (void)kind;
+  const std::uint32_t mine = tx.karma.load(std::memory_order_acquire);
+  std::uint32_t attempts = 0;
+  for (;;) {
+    if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+    if (!enemy.is_active()) return stm::Resolution::kRetry;
+    const std::uint32_t theirs = enemy.karma.load(std::memory_order_acquire);
+    if (mine + attempts >= theirs) return stm::Resolution::kAbortEnemy;
+    yield_until(std::chrono::microseconds(2),
+                [&] { return !enemy.is_active() || !tx.is_active(); });
+    ++attempts;
+  }
+}
+
+}  // namespace wstm::cm

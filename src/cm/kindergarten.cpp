@@ -1,0 +1,32 @@
+#include <chrono>
+
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+#include "util/backoff.hpp"
+
+namespace wstm::cm {
+
+void Kindergarten::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
+  (void)tx;
+  // A fresh logical transaction starts a fresh round of turn-taking.
+  if (!is_retry) lists_[self.slot()]->deferred_to.fill(0);
+}
+
+stm::Resolution Kindergarten::resolve(stm::ThreadCtx& self, stm::TxDesc& tx,
+                                      stm::TxDesc& enemy, stm::ConflictKind kind) {
+  (void)kind;
+  HitList& list = *lists_[self.slot()];
+  std::uint32_t& deferrals = list.deferred_to[enemy.thread_slot];
+
+  // We already yielded to this thread before: now it is our turn.
+  if (deferrals >= 1) return stm::Resolution::kAbortEnemy;
+
+  // First encounter: remember the enemy, give it one brief slice, retry.
+  deferrals++;
+  yield_until(std::chrono::microseconds(4),
+              [&] { return !enemy.is_active() || !tx.is_active(); });
+  if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+  return stm::Resolution::kRetry;
+}
+
+}  // namespace wstm::cm

@@ -1,0 +1,3 @@
+// Anchor TU for the ContentionManager interface (keeps the vtable and any
+// future out-of-line defaults in one object file).
+#include "cm/manager.hpp"

@@ -1,0 +1,58 @@
+// Contention-manager interface (DSTM2-style, eager conflict management).
+//
+// The runtime calls the manager the moment a conflict is discovered at open
+// time ("eager"). resolve() may wait internally — yielding, never hard
+// spinning — but must eventually return, and must return kAbortSelf
+// promptly once the calling transaction has itself been killed (it can
+// check `tx.is_active()`).
+//
+// Managers are shared by all threads of one Runtime; per-transaction state
+// lives in TxDesc's scratch fields, per-thread state in slot-indexed arrays
+// inside the concrete manager.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "stm/fwd.hpp"
+#include "stm/tx.hpp"
+
+namespace wstm::cm {
+
+class ContentionManager {
+ public:
+  virtual ~ContentionManager() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Decide one conflict between the calling transaction `tx` and an
+  /// `enemy` that was active when the conflict was discovered.
+  virtual stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                  stm::ConflictKind kind) = 0;
+
+  /// A new attempt begins (is_retry = false only for the first attempt of a
+  /// logical transaction).
+  virtual void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
+    (void)self, (void)tx, (void)is_retry;
+  }
+
+  /// An object was opened successfully (Karma-style priority accrual).
+  virtual void on_open(stm::ThreadCtx& self, stm::TxDesc& tx) { (void)self, (void)tx; }
+
+  virtual void on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) { (void)self, (void)tx; }
+
+  /// The attempt aborted; the manager may back off here before the runtime
+  /// retries (greedy managers return immediately).
+  virtual void on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) { (void)self, (void)tx; }
+
+  /// Window-model hook: thread `self` is about to execute a window of
+  /// `n_transactions` transactions. Non-window managers ignore it.
+  virtual void on_window_start(stm::ThreadCtx& self, std::uint32_t n_transactions) {
+    (void)self, (void)n_transactions;
+  }
+};
+
+using ManagerPtr = std::unique_ptr<ContentionManager>;
+
+}  // namespace wstm::cm

@@ -1,0 +1,26 @@
+#include <chrono>
+
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+#include "util/backoff.hpp"
+
+namespace wstm::cm {
+
+// Polite (Herlihy et al., DSTM): back off exponentially a bounded number of
+// times in the hope the enemy finishes, then abort it.
+stm::Resolution Polite::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                stm::ConflictKind kind) {
+  (void)self, (void)kind;
+  constexpr std::uint32_t kMaxRounds = 8;
+  for (std::uint32_t k = 0; k < kMaxRounds; ++k) {
+    if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+    if (!enemy.is_active()) return stm::Resolution::kRetry;
+    yield_until(std::chrono::nanoseconds(500ULL << k),
+                [&] { return !enemy.is_active() || !tx.is_active(); });
+  }
+  if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+  if (!enemy.is_active()) return stm::Resolution::kRetry;
+  return stm::Resolution::kAbortEnemy;
+}
+
+}  // namespace wstm::cm

@@ -1,0 +1,49 @@
+#include <chrono>
+#include <thread>
+
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+#include "util/backoff.hpp"
+
+namespace wstm::cm {
+
+void Polka::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
+  // Karma (the accrued-work priority) survives aborts of the same logical
+  // transaction and resets when a fresh transaction starts.
+  if (!is_retry) *saved_karma_[self.slot()] = 0;
+  tx.karma.store(*saved_karma_[self.slot()], std::memory_order_release);
+}
+
+void Polka::on_open(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  const std::uint32_t k = ++*saved_karma_[self.slot()];
+  tx.karma.store(k, std::memory_order_release);
+}
+
+void Polka::on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  (void)tx;
+  *saved_karma_[self.slot()] = 0;
+}
+
+stm::Resolution Polka::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                               stm::ConflictKind kind) {
+  (void)self, (void)kind;
+  const std::uint32_t mine = tx.karma.load(std::memory_order_acquire);
+  const std::uint32_t theirs = enemy.karma.load(std::memory_order_acquire);
+  if (theirs <= mine) return stm::Resolution::kAbortEnemy;
+
+  // Give the higher-priority enemy exponentially growing slices of time to
+  // finish, one slice per point of priority difference, then abort it.
+  const std::uint32_t attempts = theirs - mine;
+  for (std::uint32_t k = 0; k < attempts; ++k) {
+    if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+    if (!enemy.is_active()) return stm::Resolution::kRetry;
+    const std::uint32_t exp = k < 12 ? k : 12;  // cap one slice at ~4 ms
+    const auto slice = std::chrono::nanoseconds(1000ULL << exp);
+    yield_until(slice, [&] { return !enemy.is_active() || !tx.is_active(); });
+  }
+  if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+  if (!enemy.is_active()) return stm::Resolution::kRetry;
+  return stm::Resolution::kAbortEnemy;
+}
+
+}  // namespace wstm::cm

@@ -1,0 +1,19 @@
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+
+namespace wstm::cm {
+
+// Priority (Scherer & Scott): the priority is the (first) start time; the
+// lower-priority (younger) transaction is aborted outright. Unlike Greedy
+// there is no waiting state — the younger side kills itself and retries,
+// keeping its original timestamp, so it ages into the winner.
+stm::Resolution Priority::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                  stm::ConflictKind kind) {
+  (void)self, (void)kind;
+  const bool i_am_older =
+      tx.first_begin_ns < enemy.first_begin_ns ||
+      (tx.first_begin_ns == enemy.first_begin_ns && tx.thread_slot < enemy.thread_slot);
+  return i_am_older ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+}
+
+}  // namespace wstm::cm

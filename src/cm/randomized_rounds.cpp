@@ -1,0 +1,29 @@
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+
+namespace wstm::cm {
+
+// RandomizedRounds (Schneider & Wattenhofer): every attempt draws a uniform
+// priority in [1, M]; on conflict the lower draw wins and the loser aborts
+// (and redraws at its retry). Ties break on the thread slot.
+void RandomizedRounds::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
+  (void)is_retry;
+  tx.rand_prio.store(1 + self.rng().below(threads_), std::memory_order_release);
+}
+
+void RandomizedRounds::on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  (void)self, (void)tx;  // redraw happens in on_begin of the retry
+}
+
+stm::Resolution RandomizedRounds::resolve(stm::ThreadCtx& self, stm::TxDesc& tx,
+                                          stm::TxDesc& enemy, stm::ConflictKind kind) {
+  (void)self, (void)kind;
+  const std::uint64_t mine = tx.rand_prio.load(std::memory_order_acquire);
+  const std::uint64_t theirs = enemy.rand_prio.load(std::memory_order_acquire);
+  if (mine < theirs) return stm::Resolution::kAbortEnemy;
+  if (mine > theirs) return stm::Resolution::kAbortSelf;
+  return tx.thread_slot < enemy.thread_slot ? stm::Resolution::kAbortEnemy
+                                            : stm::Resolution::kAbortSelf;
+}
+
+}  // namespace wstm::cm

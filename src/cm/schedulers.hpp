@@ -1,0 +1,79 @@
+// Scheduler-style contention managers from the paper's related-work section
+// (Section I-D): unlike pure conflict arbiters, these also decide *when* a
+// transaction may (re)start.
+//
+//   ATS (Adaptive Transaction Scheduling, Yoo & Lee SPAA'08, ref [25]):
+//     every thread tracks its contention intensity CI; when CI exceeds a
+//     threshold, the thread funnels its transactions through one global
+//     serialization lane, trading parallelism for guaranteed progress under
+//     pathological contention. Conflicts themselves resolve Timestamp-style.
+//
+//   Steal-On-Abort (Ansari et al., HiPEAC'09, ref [24]): a transaction
+//     aborted by an enemy is "stolen" by it — the victim does not retry
+//     until the aborter has finished, eliminating immediate repeat
+//     conflicts between the pair.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <mutex>
+
+#include "cm/manager.hpp"
+#include "util/cacheline.hpp"
+#include "window/ci_estimator.hpp"
+
+namespace wstm::cm {
+
+class Ats final : public ContentionManager {
+ public:
+  /// `ci_threshold`: serialize while the thread's CI exceeds this;
+  /// `alpha`: CI smoothing (as in the window Adaptive-Improved variants).
+  explicit Ats(double ci_threshold = 0.5, double alpha = 0.75)
+      : threshold_(ci_threshold), alpha_(alpha) {}
+
+  std::string name() const override { return "ATS"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+  void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) override;
+  void on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) override;
+  void on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) override;
+
+  double ci_of(unsigned slot) const { return state_[slot]->ci.value(); }
+  std::uint64_t serialized_begins() const {
+    return serialized_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PerThread {
+    window::CiEstimator ci;
+    bool conflicted = false;
+    bool holds_lane = false;
+    bool initialized = false;
+  };
+
+  double threshold_;
+  double alpha_;
+  std::mutex lane_;  // the serialization lane
+  std::atomic<std::uint64_t> serialized_{0};
+  std::array<CacheAligned<PerThread>, 64> state_{};
+};
+
+class StealOnAbort final : public ContentionManager {
+ public:
+  std::string name() const override { return "Steal-On-Abort"; }
+  stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                          stm::ConflictKind kind) override;
+  void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) override;
+  void on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) override;
+
+ private:
+  struct PerThread {
+    // The enemy that last aborted us; we wait for it before retrying.
+    // Guarded by the EBR pin of our own next attempt? No — the pointer is
+    // only compared/polled via its status with a reference held below.
+    stm::TxDesc* aborter = nullptr;
+  };
+  std::array<CacheAligned<PerThread>, 64> state_{};
+};
+
+}  // namespace wstm::cm

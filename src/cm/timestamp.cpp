@@ -1,0 +1,32 @@
+#include <chrono>
+
+#include "cm/classic.hpp"
+#include "stm/runtime.hpp"
+#include "util/backoff.hpp"
+
+namespace wstm::cm {
+
+// Timestamp (Scherer & Scott): defer to an older enemy for a bounded series
+// of waiting slices, then presume it dead and abort it. Younger enemies are
+// aborted immediately.
+stm::Resolution Timestamp::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                   stm::ConflictKind kind) {
+  (void)self, (void)kind;
+  const bool i_am_older =
+      tx.first_begin_ns < enemy.first_begin_ns ||
+      (tx.first_begin_ns == enemy.first_begin_ns && tx.thread_slot < enemy.thread_slot);
+  if (i_am_older) return stm::Resolution::kAbortEnemy;
+
+  constexpr std::uint32_t kPatience = 16;
+  for (std::uint32_t k = 0; k < kPatience; ++k) {
+    if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+    if (!enemy.is_active()) return stm::Resolution::kRetry;
+    yield_until(std::chrono::microseconds(4),
+                [&] { return !enemy.is_active() || !tx.is_active(); });
+  }
+  if (!tx.is_active()) return stm::Resolution::kAbortSelf;
+  if (!enemy.is_active()) return stm::Resolution::kRetry;
+  return stm::Resolution::kAbortEnemy;
+}
+
+}  // namespace wstm::cm

@@ -1,0 +1,134 @@
+#include "ebr/ebr.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wstm::ebr {
+
+// ---------------------------------------------------------------- Handle --
+
+Handle::Handle(Handle&& other) noexcept
+    : domain_(std::exchange(other.domain_, nullptr)),
+      slot_(other.slot_),
+      pinned_(std::exchange(other.pinned_, false)),
+      retire_count_(other.retire_count_),
+      bins_(std::move(other.bins_)) {}
+
+Handle& Handle::operator=(Handle&& other) noexcept {
+  if (this != &other) {
+    detach();
+    domain_ = std::exchange(other.domain_, nullptr);
+    slot_ = other.slot_;
+    pinned_ = std::exchange(other.pinned_, false);
+    retire_count_ = other.retire_count_;
+    bins_ = std::move(other.bins_);
+  }
+  return *this;
+}
+
+Handle::~Handle() { detach(); }
+
+void Handle::pin() noexcept {
+  auto& slot = *domain_->slots_[slot_];
+  // Publish the observed epoch with the active bit, then verify the epoch
+  // did not advance past us before the store became visible. seq_cst on the
+  // store orders it against the subsequent global re-load on every platform.
+  std::uint64_t e = domain_->global_epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    slot.store((e << 1) | 1ULL, std::memory_order_seq_cst);
+    const std::uint64_t now = domain_->global_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+  pinned_ = true;
+}
+
+void Handle::unpin() noexcept {
+  domain_->slots_[slot_]->store(0, std::memory_order_release);
+  pinned_ = false;
+}
+
+void Handle::retire(void* ptr, void (*deleter)(void*)) {
+  const std::uint64_t e = domain_->global_epoch_.load(std::memory_order_acquire);
+  Bin& bin = bins_[e % bins_.size()];
+  if (bin.epoch != e) {
+    // The bin was last used at e - 3k (k >= 1), i.e. at least two epochs
+    // ago: its contents are unreachable by any pinned thread.
+    for (const Retired& r : bin.items) r.deleter(r.ptr);
+    bin.items.clear();
+    bin.epoch = e;
+  }
+  bin.items.push_back(Retired{ptr, deleter});
+  if (++retire_count_ % Domain::kAdvanceInterval == 0) {
+    domain_->try_advance();
+    collect(domain_->global_epoch_.load(std::memory_order_acquire));
+  }
+}
+
+void Handle::collect(std::uint64_t global_epoch) {
+  for (Bin& bin : bins_) {
+    if (!bin.items.empty() && bin.epoch + 2 <= global_epoch) {
+      for (const Retired& r : bin.items) r.deleter(r.ptr);
+      bin.items.clear();
+    }
+  }
+}
+
+std::size_t Handle::pending() const noexcept {
+  std::size_t n = 0;
+  for (const Bin& bin : bins_) n += bin.items.size();
+  return n;
+}
+
+void Handle::detach() {
+  if (domain_ == nullptr) return;
+  if (pinned_) unpin();
+  domain_->release_slot(slot_, std::move(bins_));
+  domain_ = nullptr;
+}
+
+// ---------------------------------------------------------------- Domain --
+
+Domain::~Domain() { drain(); }
+
+Handle Domain::attach() {
+  for (unsigned i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (slot_used_[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      slots_[i]->store(0, std::memory_order_release);
+      return Handle(this, i);
+    }
+  }
+  throw std::runtime_error("ebr::Domain: all thread slots in use");
+}
+
+bool Domain::try_advance() noexcept {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  for (unsigned i = 0; i < kMaxThreads; ++i) {
+    if (!slot_used_[i].load(std::memory_order_acquire)) continue;
+    const std::uint64_t v = slots_[i]->load(std::memory_order_acquire);
+    if ((v & 1ULL) != 0 && (v >> 1) != e) return false;  // pinned in an older epoch
+  }
+  std::uint64_t expected = e;
+  return global_epoch_.compare_exchange_strong(expected, e + 1, std::memory_order_acq_rel);
+}
+
+void Domain::drain() {
+  std::lock_guard<std::mutex> lock(orphan_mutex_);
+  for (const Retired& r : orphans_) r.deleter(r.ptr);
+  orphans_.clear();
+}
+
+void Domain::release_slot(unsigned slot, std::array<Handle::Bin, 3>&& bins) {
+  {
+    std::lock_guard<std::mutex> lock(orphan_mutex_);
+    for (Handle::Bin& bin : bins) {
+      orphans_.insert(orphans_.end(), bin.items.begin(), bin.items.end());
+      bin.items.clear();
+    }
+  }
+  slots_[slot]->store(0, std::memory_order_release);
+  slot_used_[slot].store(false, std::memory_order_release);
+}
+
+}  // namespace wstm::ebr

@@ -1,0 +1,142 @@
+// Epoch-based memory reclamation (EBR).
+//
+// DSTM-style STMs continually supersede object versions and locators that
+// concurrent readers may still be traversing. DSTM2 (the paper's platform)
+// leaned on the JVM garbage collector for this; in C++ we use classic
+// three-epoch EBR (Fraser): threads "pin" the global epoch around every
+// transaction, retired memory is tagged with the epoch it was retired in,
+// and a tagged batch is freed once the global epoch has advanced twice —
+// at which point no pinned thread can still hold a reference.
+//
+// Usage:
+//   ebr::Domain domain;
+//   ebr::Handle h = domain.attach();            // once per thread
+//   { ebr::Guard g(h);                          // around each critical region
+//     ... read shared structures ...
+//     h.retire(old_version);                    // unlink, defer free
+//   }
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace wstm::ebr {
+
+/// One deferred deallocation.
+struct Retired {
+  void* ptr;
+  void (*deleter)(void*);
+};
+
+class Domain;
+
+/// Per-thread participation in a Domain. Not thread-safe; each thread uses
+/// its own Handle. Movable so the owning thread context can hold it by value.
+class Handle {
+ public:
+  Handle() = default;
+  Handle(Handle&& other) noexcept;
+  Handle& operator=(Handle&& other) noexcept;
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+  ~Handle();
+
+  bool attached() const noexcept { return domain_ != nullptr; }
+
+  /// Enter a critical region: after pin() returns, memory retired by other
+  /// threads from this point on will not be freed until unpin().
+  void pin() noexcept;
+  void unpin() noexcept;
+  bool pinned() const noexcept { return pinned_; }
+
+  /// Defer deallocation of `ptr` until two epoch advances have passed.
+  /// Must be called while pinned (the caller just unlinked the object).
+  void retire(void* ptr, void (*deleter)(void*));
+
+  template <typename T>
+  void retire(T* ptr) {
+    retire(ptr, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Number of retirements not yet freed through this handle.
+  std::size_t pending() const noexcept;
+
+  /// Detach from the domain; pending garbage is handed to the domain and
+  /// freed at domain destruction or quiescent drain.
+  void detach();
+
+ private:
+  friend class Domain;
+  Handle(Domain* domain, unsigned slot) noexcept : domain_(domain), slot_(slot) {}
+
+  struct Bin {
+    std::uint64_t epoch = 0;
+    std::vector<Retired> items;
+  };
+
+  void collect(std::uint64_t global_epoch);
+
+  Domain* domain_ = nullptr;
+  unsigned slot_ = 0;
+  bool pinned_ = false;
+  unsigned retire_count_ = 0;
+  std::array<Bin, 3> bins_{};
+};
+
+/// RAII pin/unpin.
+class Guard {
+ public:
+  explicit Guard(Handle& h) noexcept : h_(h) { h_.pin(); }
+  ~Guard() { h_.unpin(); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  Handle& h_;
+};
+
+class Domain {
+ public:
+  static constexpr unsigned kMaxThreads = 64;
+  /// retire() attempts an epoch advance every this many retirements.
+  static constexpr unsigned kAdvanceInterval = 64;
+
+  Domain() = default;
+  ~Domain();
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Claim a thread slot. Throws std::runtime_error when all slots are taken.
+  Handle attach();
+
+  std::uint64_t epoch() const noexcept { return global_epoch_.load(std::memory_order_acquire); }
+
+  /// Advance the epoch if every pinned thread has observed the current one.
+  /// Returns true when the epoch moved.
+  bool try_advance() noexcept;
+
+  /// Free everything immediately. Caller must guarantee no thread is pinned
+  /// (quiescence) — used between benchmark phases and in tests.
+  void drain();
+
+ private:
+  friend class Handle;
+
+  void release_slot(unsigned slot, std::array<Handle::Bin, 3>&& bins);
+
+  // Slot value: (epoch << 1) | active-bit.
+  std::array<CacheAligned<std::atomic<std::uint64_t>>, kMaxThreads> slots_{};
+  std::array<std::atomic<bool>, kMaxThreads> slot_used_{};
+  std::atomic<std::uint64_t> global_epoch_{1};
+
+  std::mutex orphan_mutex_;
+  std::vector<Retired> orphans_;
+};
+
+}  // namespace wstm::ebr

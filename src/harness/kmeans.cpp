@@ -1,0 +1,97 @@
+#include "harness/kmeans.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wstm::harness {
+
+KMeansWorkload::KMeansWorkload(KMeansConfig config) : config_(config) {
+  if (config_.dims == 0 || config_.dims > kMaxDims) {
+    throw std::invalid_argument("kmeans dims must be in [1, 8]");
+  }
+  if (config_.clusters == 0) throw std::invalid_argument("kmeans needs at least one cluster");
+  Xoshiro256 rng(config_.seed);
+  points_.reserve(config_.points);
+  for (std::uint32_t p = 0; p < config_.points; ++p) {
+    std::vector<double> pt(config_.dims);
+    for (auto& x : pt) x = rng.uniform01();
+    points_.push_back(std::move(pt));
+  }
+}
+
+void KMeansWorkload::populate(stm::Runtime& rt, stm::ThreadCtx& tc) {
+  (void)rt, (void)tc;
+  Xoshiro256 rng(config_.seed ^ 0xabcdefULL);
+  clusters_.clear();
+  for (std::uint32_t k = 0; k < config_.clusters; ++k) {
+    Cluster c;
+    for (std::uint32_t d = 0; d < config_.dims; ++d) c.center[d] = rng.uniform01();
+    clusters_.push_back(std::make_unique<stm::TObject<Cluster>>(c));
+  }
+}
+
+void KMeansWorkload::run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) {
+  const auto& point = points_[rng.below(points_.size())];
+  rt.atomically(tc, [&](stm::Tx& tx) {
+    // Read phase: nearest centroid over all K clusters.
+    std::uint32_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::uint32_t k = 0; k < config_.clusters; ++k) {
+      const Cluster* c = clusters_[k]->open_read(tx);
+      double dist = 0.0;
+      for (std::uint32_t d = 0; d < config_.dims; ++d) {
+        const double delta = point[d] - c->center[d];
+        dist += delta * delta;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = k;
+      }
+    }
+    // Write phase: fold the point into the winner and refresh its center.
+    Cluster* c = clusters_[best]->open_write(tx);
+    c->count += 1;
+    for (std::uint32_t d = 0; d < config_.dims; ++d) {
+      c->sums[d] += point[d];
+      c->center[d] = c->sums[d] / static_cast<double>(c->count);
+    }
+  });
+  assignments_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool KMeansWorkload::validate(std::string* why) const {
+  long total = 0;
+  for (const auto& cluster : clusters_) {
+    const Cluster* c = cluster->peek();
+    if (c->count < 0) {
+      if (why != nullptr) *why = "negative cluster count";
+      return false;
+    }
+    for (std::uint32_t d = 0; d < config_.dims; ++d) {
+      // Sums of points in [0,1) per dimension can never exceed the count.
+      if (c->sums[d] < -1e-9 || c->sums[d] > static_cast<double>(c->count) + 1e-9) {
+        if (why != nullptr) *why = "cluster sums out of range";
+        return false;
+      }
+    }
+    total += c->count;
+  }
+  const long expected = assignments_.load(std::memory_order_relaxed);
+  if (total != expected) {
+    if (why != nullptr) {
+      *why = "assignment count " + std::to_string(total) + " != committed " +
+             std::to_string(expected);
+    }
+    return false;
+  }
+  return true;
+}
+
+std::vector<double> KMeansWorkload::quiescent_centroid(std::uint32_t k) const {
+  const Cluster* c = clusters_[k]->peek();
+  std::vector<double> out(config_.dims);
+  for (std::uint32_t d = 0; d < config_.dims; ++d) out[d] = c->center[d];
+  return out;
+}
+
+}  // namespace wstm::harness

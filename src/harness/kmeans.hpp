@@ -1,0 +1,58 @@
+// Extension benchmark: a kmeans-style clustering workload (the paper's
+// conclusion defers evaluation on STAMP's kmeans to future work; this is
+// the transactional kernel of that application).
+//
+// Shared state: K cluster accumulators, each a TObject holding the member
+// count and per-dimension coordinate sums. A transaction takes one random
+// point, reads every centroid to find the nearest (a K-object read phase),
+// then updates that cluster's accumulator (a single-object write). Small K
+// concentrates writes on a few hot objects — a conflict profile distinct
+// from the pointer-chasing int-set benchmarks: wide read sets, pointy
+// write sets.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "harness/workload.hpp"
+
+namespace wstm::harness {
+
+struct KMeansConfig {
+  std::uint32_t clusters = 8;     // K: fewer clusters = hotter writes
+  std::uint32_t points = 2048;    // generated uniformly in [0,1)^dims
+  std::uint32_t dims = 4;
+  std::uint64_t seed = 9;
+};
+
+class KMeansWorkload final : public Workload {
+ public:
+  static constexpr std::uint32_t kMaxDims = 8;
+
+  explicit KMeansWorkload(KMeansConfig config);
+
+  std::string name() const override { return "kmeans"; }
+  void populate(stm::Runtime& rt, stm::ThreadCtx& tc) override;
+  void run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) override;
+  bool validate(std::string* why) const override;
+
+  /// Current centroid estimate of cluster k (sums/count), for inspection.
+  std::vector<double> quiescent_centroid(std::uint32_t k) const;
+
+ private:
+  struct Cluster {
+    long count = 0;
+    std::array<double, kMaxDims> sums{};
+    std::array<double, kMaxDims> center{};
+  };
+
+  KMeansConfig config_;
+  std::vector<std::vector<double>> points_;
+  std::vector<std::unique_ptr<stm::TObject<Cluster>>> clusters_;
+  std::atomic<long> assignments_{0};
+};
+
+}  // namespace wstm::harness

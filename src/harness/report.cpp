@@ -1,0 +1,143 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace wstm::harness {
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kThroughput:
+      return "throughput (commits/s)";
+    case Metric::kAbortsPerCommit:
+      return "aborts per commit";
+    case Metric::kElapsedMs:
+      return "elapsed (ms)";
+    case Metric::kWastedFraction:
+      return "wasted-work fraction";
+    case Metric::kResponseUs:
+      return "mean response (us)";
+    case Metric::kRepeatConflictsPerCommit:
+      return "repeat conflicts per commit";
+  }
+  return "?";
+}
+
+void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
+                           const std::string& default_cms, const std::string& default_threads,
+                           std::int64_t default_ms, unsigned default_runs) {
+  cli.add_flag("benchmarks", "comma-separated: list,rbtree,skiplist,vacation",
+               default_benchmarks);
+  cli.add_flag("cms", "comma-separated contention manager names", default_cms);
+  cli.add_flag("threads", "comma-separated thread counts (M)", default_threads);
+  cli.add_flag("ms", "measured milliseconds per run (paper: 10000)", default_ms);
+  cli.add_flag("runs", "repetitions per point (paper: 6)",
+               static_cast<std::int64_t>(default_runs));
+  cli.add_flag("fixed-commits", "when > 0, run until this many commits instead of --ms",
+               static_cast<std::int64_t>(0));
+  cli.add_flag("key-range", "int-set key range", static_cast<std::int64_t>(256));
+  cli.add_flag("update-percent", "percent of update transactions (int-set benchmarks)",
+               static_cast<std::int64_t>(100));
+  cli.add_flag("window-n", "window length N (paper: 50)", static_cast<std::int64_t>(50));
+  cli.add_flag("frame-factor", "frame length factor phi", 1.0);
+  cli.add_flag("frame-log-exp", "exponent e in ln(MN)^e for the frame length", 1.0);
+  cli.add_flag("initial-c", "initial contention estimate C_i (0 = variant default)", 0.0);
+  cli.add_flag("ci-alpha", "CI smoothing alpha (Adaptive-Improved)", 0.75);
+  cli.add_flag("seed", "base RNG seed", static_cast<std::int64_t>(42));
+  cli.add_flag("preempt-permille",
+               "yield probability (permille) at each open, to emulate multicore "
+               "interleaving on undersubscribed hosts; -1 = auto",
+               static_cast<std::int64_t>(-1));
+  cli.add_flag("visible-reads", "visible (paper) vs invisible (validated) reads", true);
+  cli.add_flag("validate", "check structure invariants after each run", true);
+  cli.add_flag("csv", "emit CSV instead of aligned tables", false);
+}
+
+MatrixSpec matrix_from_cli(const Cli& cli) {
+  MatrixSpec spec;
+  spec.benchmarks = cli.get_string_list("benchmarks");
+  spec.cms = cli.get_string_list("cms");
+  spec.thread_counts = cli.get_int_list("threads");
+  spec.base.duration_ms = cli.get_int("ms");
+  spec.base.fixed_commits = static_cast<std::uint64_t>(cli.get_int("fixed-commits"));
+  spec.base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  spec.base.preempt_permille = static_cast<std::int32_t>(cli.get_int("preempt-permille"));
+  spec.base.visible_reads = cli.get_bool("visible-reads");
+  spec.base.validate = cli.get_bool("validate");
+  spec.repetitions = static_cast<unsigned>(cli.get_int("runs"));
+  spec.key_range = cli.get_int("key-range");
+  spec.update_percent = static_cast<std::uint32_t>(cli.get_int("update-percent"));
+  spec.params.window_n = static_cast<std::uint32_t>(cli.get_int("window-n"));
+  spec.params.frame_factor = cli.get_double("frame-factor");
+  spec.params.frame_log_exponent = cli.get_double("frame-log-exp");
+  spec.params.initial_c = cli.get_double("initial-c");
+  spec.params.ci_alpha = cli.get_double("ci-alpha");
+  spec.csv = cli.get_bool("csv");
+  return spec;
+}
+
+bool run_matrix_and_print(const MatrixSpec& spec, Metric metric, std::ostream& out) {
+  bool all_valid = true;
+  for (const std::string& benchmark : spec.benchmarks) {
+    std::vector<std::string> header{"CM \\ M"};
+    for (const auto m : spec.thread_counts) header.push_back(std::to_string(m));
+    Table table(header);
+
+    for (const std::string& cm_name : spec.cms) {
+      std::vector<std::string> row{cm_name};
+      for (const auto m : spec.thread_counts) {
+        RunConfig cfg = spec.base;
+        cfg.threads = static_cast<std::uint32_t>(m);
+        std::fprintf(stderr, "[%s] %s M=%lld ...\n", benchmark.c_str(), cm_name.c_str(),
+                     static_cast<long long>(m));
+        const RepeatedResult r = run_repeated(
+            cm_name, spec.params,
+            [&] { return make_workload(benchmark, spec.update_percent, spec.key_range); },
+            cfg, spec.repetitions);
+        if (!r.valid) {
+          all_valid = false;
+          std::fprintf(stderr, "VALIDATION FAILED [%s/%s/M=%lld]: %s\n", benchmark.c_str(),
+                       cm_name.c_str(), static_cast<long long>(m), r.why.c_str());
+        }
+        double value = 0.0;
+        int precision = 2;
+        switch (metric) {
+          case Metric::kThroughput:
+            value = r.mean_throughput;
+            precision = 0;
+            break;
+          case Metric::kAbortsPerCommit:
+            value = r.mean_aborts_per_commit;
+            precision = 3;
+            break;
+          case Metric::kElapsedMs:
+            value = r.mean_elapsed_ms;
+            precision = 1;
+            break;
+          case Metric::kWastedFraction:
+            value = r.mean_wasted_fraction;
+            precision = 4;
+            break;
+          case Metric::kResponseUs:
+            value = r.mean_response_us;
+            precision = 1;
+            break;
+          case Metric::kRepeatConflictsPerCommit:
+            value = r.mean_repeat_conflicts;
+            precision = 3;
+            break;
+        }
+        row.push_back(Table::num(value, precision));
+      }
+      table.add_row(std::move(row));
+    }
+
+    out << "# " << benchmark << " — " << metric_name(metric) << "\n"
+        << (spec.csv ? table.to_csv() : table.to_text()) << "\n";
+  }
+  return all_valid;
+}
+
+}  // namespace wstm::harness

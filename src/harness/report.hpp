@@ -1,0 +1,55 @@
+// Shared experiment-matrix driver for the figure-reproduction benches:
+// every bench binary is "sweep benchmarks × contention managers × thread
+// counts, print one table per benchmark" with a different metric and CM
+// set, so the sweep and the CLI plumbing live here.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cm/registry.hpp"
+#include "harness/runner.hpp"
+#include "util/cli.hpp"
+
+namespace wstm::harness {
+
+enum class Metric {
+  kThroughput,      // commits per second (Figs. 2, 3)
+  kAbortsPerCommit, // Fig. 4
+  kElapsedMs,       // Fig. 5 (fixed-commit runs)
+  kWastedFraction,
+  kResponseUs,
+  kRepeatConflictsPerCommit,
+};
+
+std::string metric_name(Metric metric);
+
+struct MatrixSpec {
+  std::vector<std::string> benchmarks;
+  std::vector<std::string> cms;
+  std::vector<std::int64_t> thread_counts;
+  RunConfig base;
+  cm::Params params;
+  unsigned repetitions = 1;
+  std::uint32_t update_percent = 100;
+  long key_range = 256;
+  bool csv = false;
+};
+
+/// Registers the flags shared by all figure benches (threads, seconds,
+/// runs, key-range, update%, window knobs, csv, ...).
+void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
+                           const std::string& default_cms, const std::string& default_threads,
+                           std::int64_t default_ms, unsigned default_runs);
+
+/// Builds a spec from parsed flags.
+MatrixSpec matrix_from_cli(const Cli& cli);
+
+/// Runs the whole matrix and prints one table per benchmark to `out`
+/// (columns = thread counts, rows = CMs). Progress notes go to stderr.
+/// Returns false if any run failed validation.
+bool run_matrix_and_print(const MatrixSpec& spec, Metric metric, std::ostream& out);
+
+}  // namespace wstm::harness

@@ -1,0 +1,80 @@
+#include "harness/runner.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/affinity.hpp"
+#include "util/timing.hpp"
+
+namespace wstm::harness {
+
+RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workload& workload,
+                       const RunConfig& run) {
+  cm_params.threads = run.threads;
+  stm::RuntimeConfig rt_config;
+  rt_config.seed = run.seed;
+  rt_config.visible_reads = run.visible_reads;
+  if (run.preempt_permille < 0) {
+    rt_config.preempt_yield_permille = hardware_cpus() < run.threads ? 25 : 0;
+  } else {
+    rt_config.preempt_yield_permille = static_cast<std::uint32_t>(run.preempt_permille);
+  }
+  stm::Runtime rt(cm::make_manager(cm_name, cm_params), rt_config);
+
+  {
+    stm::ThreadCtx& main_tc = rt.attach_thread();
+    workload.populate(rt, main_tc);
+    rt.detach_thread(main_tc);
+  }
+  rt.reset_metrics();
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> committed{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(run.threads);
+  for (std::uint32_t i = 0; i < run.threads; ++i) {
+    workers.emplace_back([&, i] {
+      if (run.pin_threads) pin_current_thread(i);
+      stm::ThreadCtx& tc = rt.attach_thread();
+      Xoshiro256 rng(run.seed * 0x9e3779b97f4a7c15ULL + i + 0xabcd);
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        workload.run_one(rt, tc, rng);
+        if (run.fixed_commits > 0 &&
+            committed.fetch_add(1, std::memory_order_acq_rel) + 1 >= run.fixed_commits) {
+          stop.store(true, std::memory_order_release);
+        }
+      }
+      // ThreadCtx stays attached so the runtime can aggregate its metrics;
+      // Runtime teardown detaches it.
+    });
+  }
+
+  const std::int64_t begin = now_ns();
+  start.store(true, std::memory_order_release);
+  if (run.fixed_commits == 0) {
+    const std::int64_t deadline = begin + run.duration_ms * 1'000'000;
+    while (now_ns() < deadline && !stop.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+  }
+  for (auto& w : workers) w.join();
+  const std::int64_t elapsed = now_ns() - begin;
+
+  RunResult result;
+  result.totals = rt.total_metrics();
+  result.elapsed_ns = elapsed;
+  result.summary = stm::summarize(result.totals, elapsed);
+  if (run.validate) {
+    std::string why;
+    result.valid = workload.validate(&why);
+    result.why = why;
+  }
+  return result;
+}
+
+}  // namespace wstm::harness

@@ -1,0 +1,76 @@
+// The experiment runner: executes a workload on M worker threads under a
+// chosen contention manager and reports the paper's metrics.
+//
+// Two stop conditions cover all figures:
+//  * timed run (`duration_ms`)           — Figs. 2, 3, 4 (throughput,
+//    aborts/commit over a fixed wall-clock interval);
+//  * fixed commit count (`fixed_commits`) — Fig. 5 (total time to commit
+//    20 000 transactions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cm/registry.hpp"
+#include "harness/workload.hpp"
+#include "stm/metrics.hpp"
+
+namespace wstm::harness {
+
+struct RunConfig {
+  std::uint32_t threads = 4;  // M
+  std::int64_t duration_ms = 1000;
+  /// When > 0, ignore duration and run until this many transactions
+  /// committed across all threads.
+  std::uint64_t fixed_commits = 0;
+  std::uint64_t seed = 42;
+  bool pin_threads = true;
+  /// Validate the workload after the run (strongly recommended; adds a
+  /// quiescent pass over the structure).
+  bool validate = true;
+  /// Preemption emulation (see stm::RuntimeConfig::preempt_yield_permille).
+  /// -1 = auto: 25 permille when the host has fewer hardware threads than
+  /// `threads`, otherwise 0.
+  std::int32_t preempt_permille = -1;
+  /// Read mode (see stm::RuntimeConfig::visible_reads). The paper used
+  /// visible reads; invisible trades reader bitmaps for validation.
+  bool visible_reads = true;
+};
+
+struct RunResult {
+  stm::MetricsSummary summary;
+  stm::ThreadMetrics totals;
+  std::int64_t elapsed_ns = 0;
+  bool valid = true;
+  std::string why;
+};
+
+/// Builds a fresh Runtime with `cm_name` (threads taken from `run`),
+/// populates `workload`, runs it, validates, and returns the metrics.
+/// The measured interval excludes populate and teardown.
+RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workload& workload,
+                       const RunConfig& run);
+
+/// Averages `repetitions` runs of the same configuration on fresh workload
+/// instances built by `factory`. Metrics are averaged; `valid` is the
+/// conjunction.
+struct RepeatedResult {
+  double mean_throughput = 0.0;
+  double throughput_stddev = 0.0;
+  double mean_aborts_per_commit = 0.0;
+  double mean_elapsed_ms = 0.0;
+  double mean_wasted_fraction = 0.0;
+  double mean_response_us = 0.0;
+  double mean_repeat_conflicts = 0.0;
+  bool valid = true;
+  std::string why;
+};
+
+template <typename WorkloadFactory>
+RepeatedResult run_repeated(const std::string& cm_name, cm::Params cm_params,
+                            WorkloadFactory&& factory, const RunConfig& run,
+                            unsigned repetitions);
+
+}  // namespace wstm::harness
+
+#include "harness/runner_impl.hpp"

@@ -1,0 +1,45 @@
+// Template implementation detail of harness/runner.hpp.
+#pragma once
+
+#include "util/stats.hpp"
+
+namespace wstm::harness {
+
+template <typename WorkloadFactory>
+RepeatedResult run_repeated(const std::string& cm_name, cm::Params cm_params,
+                            WorkloadFactory&& factory, const RunConfig& run,
+                            unsigned repetitions) {
+  RepeatedResult agg;
+  RunningStats throughput;
+  RunningStats aborts;
+  RunningStats elapsed_ms;
+  RunningStats wasted;
+  RunningStats response;
+  RunningStats repeats;
+  for (unsigned i = 0; i < repetitions; ++i) {
+    auto workload = factory();
+    RunConfig cfg = run;
+    cfg.seed = run.seed + i * 7919;
+    const RunResult r = run_workload(cm_name, cm_params, *workload, cfg);
+    throughput.add(r.summary.throughput_per_s);
+    aborts.add(r.summary.aborts_per_commit);
+    elapsed_ms.add(static_cast<double>(r.elapsed_ns) / 1e6);
+    wasted.add(r.summary.wasted_fraction);
+    response.add(r.summary.mean_response_us);
+    repeats.add(r.summary.repeat_conflicts_per_commit);
+    if (!r.valid) {
+      agg.valid = false;
+      agg.why = r.why;
+    }
+  }
+  agg.mean_throughput = throughput.mean();
+  agg.throughput_stddev = throughput.stddev();
+  agg.mean_aborts_per_commit = aborts.mean();
+  agg.mean_elapsed_ms = elapsed_ms.mean();
+  agg.mean_wasted_fraction = wasted.mean();
+  agg.mean_response_us = response.mean();
+  agg.mean_repeat_conflicts = repeats.mean();
+  return agg;
+}
+
+}  // namespace wstm::harness

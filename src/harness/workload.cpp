@@ -1,0 +1,108 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harness/kmeans.hpp"
+
+namespace wstm::harness {
+
+IntSetWorkload::IntSetWorkload(IntSetConfig config)
+    : config_(std::move(config)), set_(structs::make_intset(config_.kind)) {
+  if (config_.key_range <= 0) throw std::invalid_argument("key_range must be positive");
+}
+
+void IntSetWorkload::populate(stm::Runtime& rt, stm::ThreadCtx& tc) {
+  if (!config_.prefill) return;
+  // Every other key: deterministic initial size of range/2, which keeps the
+  // insert/remove mix balanced in steady state.
+  for (long key = 0; key < config_.key_range; key += 2) {
+    rt.atomically(tc, [&](stm::Tx& tx) { set_->insert(tx, key); });
+    ++initial_size_;
+  }
+}
+
+void IntSetWorkload::run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) {
+  const std::uint64_t dice = rng.below(100);
+  const long key = static_cast<long>(rng.below(static_cast<std::uint64_t>(config_.key_range)));
+  if (dice < config_.update_percent / 2) {
+    const bool inserted = rt.atomically(tc, [&](stm::Tx& tx) { return set_->insert(tx, key); });
+    if (inserted) net_inserts_.fetch_add(1, std::memory_order_relaxed);
+  } else if (dice < config_.update_percent) {
+    const bool removed = rt.atomically(tc, [&](stm::Tx& tx) { return set_->remove(tx, key); });
+    if (removed) net_inserts_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    rt.atomically(tc, [&](stm::Tx& tx) { return set_->contains(tx, key); });
+  }
+}
+
+bool IntSetWorkload::validate(std::string* why) const {
+  const auto elements = set_->quiescent_elements();
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  for (std::size_t i = 1; i < elements.size(); ++i) {
+    if (elements[i - 1] >= elements[i]) {
+      return fail("elements not strictly sorted at index " + std::to_string(i));
+    }
+  }
+  const long expected = static_cast<long>(initial_size_) +
+                        net_inserts_.load(std::memory_order_relaxed);
+  if (static_cast<long>(elements.size()) != expected) {
+    return fail("size " + std::to_string(elements.size()) + " != expected " +
+                std::to_string(expected));
+  }
+  if (config_.kind == "rbtree") {
+    const auto* tree = dynamic_cast<const structs::RBTreeSet*>(set_.get());
+    std::string tree_why;
+    if (tree != nullptr && !tree->map().quiescent_invariants_ok(&tree_why)) {
+      return fail("rbtree invariants: " + tree_why);
+    }
+  }
+  return true;
+}
+
+VacationWorkload::VacationWorkload(vacation::ClientConfig config)
+    : client_(manager_, config) {}
+
+void VacationWorkload::populate(stm::Runtime& rt, stm::ThreadCtx& tc) {
+  client_.populate(rt, tc);
+}
+
+void VacationWorkload::run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) {
+  client_.run_one(rt, tc, rng);
+}
+
+bool VacationWorkload::validate(std::string* why) const {
+  return manager_.quiescent_consistent(why);
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& benchmark,
+                                        std::uint32_t update_percent, long key_range) {
+  if (benchmark == "list" || benchmark == "rbtree" || benchmark == "skiplist" ||
+      benchmark == "hashtable") {
+    IntSetConfig cfg;
+    cfg.kind = benchmark;
+    cfg.key_range = key_range;
+    cfg.update_percent = update_percent;
+    return std::make_unique<IntSetWorkload>(cfg);
+  }
+  if (benchmark == "kmeans") {
+    KMeansConfig cfg;
+    // Map update_percent to write hotness: high update share = few clusters.
+    cfg.clusters = update_percent >= 100 ? 4 : update_percent >= 60 ? 8 : 16;
+    return std::make_unique<KMeansWorkload>(cfg);
+  }
+  if (benchmark == "vacation") {
+    vacation::ClientConfig cfg = vacation::high_contention_config();
+    // Map the paper's "percent update operations" onto the vacation mix:
+    // more updates = fewer pure MakeReservation queries succeed as reads,
+    // so scale the admin share with update_percent.
+    cfg.user_percent = 100 - std::min<std::uint32_t>(80, update_percent * 2 / 5);
+    return std::make_unique<VacationWorkload>(cfg);
+  }
+  throw std::invalid_argument("unknown benchmark: " + benchmark);
+}
+
+}  // namespace wstm::harness

@@ -1,0 +1,93 @@
+// Benchmark workloads: the paper's four benchmarks behind one interface.
+//
+// A workload owns its shared data structure; the runner gives every worker
+// thread its own RNG and calls run_one() in a loop. validate() is checked
+// after the threads have joined — it is how the harness proves the STM
+// preserved the structure's invariants under the measured contention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "stm/runtime.hpp"
+#include "structs/intset.hpp"
+#include "util/rng.hpp"
+#include "vacation/client.hpp"
+
+namespace wstm::harness {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fills the structure to its initial state (single-threaded).
+  virtual void populate(stm::Runtime& rt, stm::ThreadCtx& tc) = 0;
+
+  /// Executes one logical transaction.
+  virtual void run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) = 0;
+
+  /// Quiescent consistency check; stores a diagnostic in `why` on failure.
+  virtual bool validate(std::string* why) const = 0;
+};
+
+/// Int-set workload (List / RBTree / SkipList): update_percent of the
+/// transactions are updates (half inserts, half removes) on uniform random
+/// keys in [0, key_range); the rest are lookups. The paper's throughput
+/// figures use 50/50 insert/delete (update_percent = 100); Fig. 5 sweeps
+/// update_percent over {20, 60, 100}.
+struct IntSetConfig {
+  std::string kind = "list";  // list | rbtree | skiplist
+  long key_range = 256;
+  std::uint32_t update_percent = 100;
+  /// Keys initially present (every other key, deterministic): range/2.
+  bool prefill = true;
+};
+
+class IntSetWorkload final : public Workload {
+ public:
+  explicit IntSetWorkload(IntSetConfig config);
+
+  std::string name() const override { return config_.kind; }
+  void populate(stm::Runtime& rt, stm::ThreadCtx& tc) override;
+  void run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) override;
+  bool validate(std::string* why) const override;
+
+  const structs::TxIntSet& set() const noexcept { return *set_; }
+
+ private:
+  IntSetConfig config_;
+  std::unique_ptr<structs::TxIntSet> set_;
+  std::size_t initial_size_ = 0;
+  std::atomic<long> net_inserts_{0};
+};
+
+/// Vacation workload wrapping the Manager + Client pair.
+class VacationWorkload final : public Workload {
+ public:
+  explicit VacationWorkload(vacation::ClientConfig config = vacation::high_contention_config());
+
+  std::string name() const override { return "vacation"; }
+  void populate(stm::Runtime& rt, stm::ThreadCtx& tc) override;
+  void run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) override;
+  bool validate(std::string* why) const override;
+
+  const vacation::Manager& manager() const noexcept { return manager_; }
+
+ private:
+  vacation::Manager manager_;
+  vacation::Client client_;
+};
+
+/// Factory by benchmark name: list | rbtree | skiplist | vacation (the
+/// paper's four) | kmeans (extension, see harness/kmeans.hpp).
+/// update_percent applies to the int-set benchmarks; for vacation it scales
+/// the admin share of the mix, for kmeans the cluster-count hotness.
+std::unique_ptr<Workload> make_workload(const std::string& benchmark,
+                                        std::uint32_t update_percent = 100,
+                                        long key_range = 256);
+
+}  // namespace wstm::harness

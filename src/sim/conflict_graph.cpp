@@ -1,0 +1,74 @@
+#include "sim/conflict_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wstm::sim {
+
+ConflictGraph::ConflictGraph(const SimWindow& window) : n_(window.n) {
+  const std::uint32_t total = window.total();
+  adj_.resize(total);
+
+  // Invert: resource -> transactions using it; then join all pairs.
+  std::vector<std::vector<std::uint32_t>> users(window.num_resources);
+  for (std::uint32_t t = 0; t < total; ++t) {
+    for (const std::uint32_t r : window.txs[t].resources) users[r].push_back(t);
+  }
+  for (const auto& group : users) {
+    for (std::size_t a = 0; a < group.size(); ++a) {
+      for (std::size_t b = a + 1; b < group.size(); ++b) {
+        adj_[group[a]].push_back(group[b]);
+        adj_[group[b]].push_back(group[a]);
+      }
+    }
+  }
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+}
+
+bool ConflictGraph::conflicts(std::uint32_t a, std::uint32_t b) const {
+  const auto& nbrs = adj_[a];
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+std::uint32_t ConflictGraph::max_degree() const {
+  std::uint32_t best = 0;
+  for (const auto& nbrs : adj_) best = std::max(best, static_cast<std::uint32_t>(nbrs.size()));
+  return best;
+}
+
+std::uint32_t ConflictGraph::max_degree_of_thread(std::uint32_t thread) const {
+  std::uint32_t best = 0;
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    best = std::max(best, degree(thread * n_ + j));
+  }
+  return best;
+}
+
+std::uint32_t ConflictGraph::greedy_coloring(std::vector<std::uint32_t>* colors) const {
+  const std::uint32_t total = size();
+  std::vector<std::uint32_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return degree(a) > degree(b); });
+
+  std::vector<std::uint32_t> color(total, UINT32_MAX);
+  std::uint32_t num_colors = 0;
+  std::vector<bool> used;
+  for (const std::uint32_t v : order) {
+    used.assign(num_colors + 1, false);
+    for (const std::uint32_t w : adj_[v]) {
+      if (color[w] != UINT32_MAX && color[w] <= num_colors) used[color[w]] = true;
+    }
+    std::uint32_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    color[v] = c;
+    num_colors = std::max(num_colors, c + 1);
+  }
+  if (colors != nullptr) *colors = std::move(color);
+  return num_colors;
+}
+
+}  // namespace wstm::sim

@@ -1,0 +1,42 @@
+// Conflict graph over a SimWindow: transactions are nodes, an edge joins
+// any two that share a resource. C (the paper's contention measure) is the
+// maximum degree; C_i the maximum degree among thread i's transactions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace wstm::sim {
+
+class ConflictGraph {
+ public:
+  explicit ConflictGraph(const SimWindow& window);
+
+  /// Neighbors of the transaction at flat index `t` (= thread * n + index).
+  const std::vector<std::uint32_t>& neighbors(std::uint32_t t) const { return adj_[t]; }
+
+  bool conflicts(std::uint32_t a, std::uint32_t b) const;
+
+  std::uint32_t degree(std::uint32_t t) const {
+    return static_cast<std::uint32_t>(adj_[t].size());
+  }
+  /// C = max degree over the whole window.
+  std::uint32_t max_degree() const;
+  /// C_i = max degree among thread i's transactions.
+  std::uint32_t max_degree_of_thread(std::uint32_t thread) const;
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(adj_.size()); }
+
+  /// Greedy coloring (largest-first); returns the number of colors — an
+  /// upper bound on the optimal one-shot schedule length used by the
+  /// coloring reduction the paper discusses.
+  std::uint32_t greedy_coloring(std::vector<std::uint32_t>* colors = nullptr) const;
+
+ private:
+  std::uint32_t n_ = 0;  // txs per thread, to recover (thread, index)
+  std::vector<std::vector<std::uint32_t>> adj_;
+};
+
+}  // namespace wstm::sim

@@ -1,0 +1,42 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace wstm::sim {
+
+AveragedSim average_runs(const SimWindow& window, const ConflictGraph& graph,
+                         const SchedulerOptions& options, unsigned repetitions,
+                         std::uint64_t seed) {
+  RunningStats makespan;
+  RunningStats aborts;
+  RunningStats throughput;
+  for (unsigned i = 0; i < repetitions; ++i) {
+    Xoshiro256 rng(seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    const SimResult r = run_scheduler(window, graph, options, rng);
+    makespan.add(static_cast<double>(r.makespan));
+    aborts.add(r.aborts_per_commit());
+    throughput.add(r.throughput());
+  }
+  AveragedSim out;
+  out.makespan = makespan.mean();
+  out.makespan_stddev = makespan.stddev();
+  out.aborts_per_commit = aborts.mean();
+  out.throughput = throughput.mean();
+  return out;
+}
+
+double offline_bound(std::uint32_t m, std::uint32_t n, std::uint32_t c) {
+  const double mn = std::max(2.0, static_cast<double>(m) * n);
+  return static_cast<double>(c) + static_cast<double>(n) * std::log(mn);
+}
+
+double online_bound(std::uint32_t m, std::uint32_t n, std::uint32_t c) {
+  const double mn = std::max(2.0, static_cast<double>(m) * n);
+  const double log_mn = std::log(mn);
+  return static_cast<double>(c) * log_mn + static_cast<double>(n) * log_mn * log_mn;
+}
+
+}  // namespace wstm::sim

@@ -1,0 +1,29 @@
+// Helpers shared by the simulator benches (theory validation and virtual-
+// time scaling): repetition averaging and the paper's makespan bounds.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/schedulers.hpp"
+
+namespace wstm::sim {
+
+struct AveragedSim {
+  double makespan = 0.0;
+  double makespan_stddev = 0.0;
+  double aborts_per_commit = 0.0;
+  double throughput = 0.0;  // commits per virtual step
+};
+
+/// Runs the scheduler `repetitions` times with distinct RNG streams (the
+/// window is fixed; the schedulers' random delays/priorities vary).
+AveragedSim average_runs(const SimWindow& window, const ConflictGraph& graph,
+                         const SchedulerOptions& options, unsigned repetitions,
+                         std::uint64_t seed);
+
+/// Theorem 2.1: makespan of Offline is O(τ (C + N log MN)), τ = 1 step.
+double offline_bound(std::uint32_t m, std::uint32_t n, std::uint32_t c);
+/// Theorem 2.3: makespan of Online is O(τ (C log MN + N log² MN)).
+double online_bound(std::uint32_t m, std::uint32_t n, std::uint32_t c);
+
+}  // namespace wstm::sim

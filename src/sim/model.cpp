@@ -1,0 +1,58 @@
+#include "sim/model.hpp"
+
+#include <algorithm>
+
+namespace wstm::sim {
+
+namespace {
+
+std::vector<std::uint32_t> draw_distinct(Xoshiro256& rng, std::uint32_t pool_base,
+                                         std::uint32_t pool_size, std::uint32_t count) {
+  count = std::min(count, pool_size);
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const auto r = pool_base + static_cast<std::uint32_t>(rng.below(pool_size));
+    if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+SimWindow make_random_window(std::uint32_t m, std::uint32_t n, std::uint32_t resources,
+                             std::uint32_t accesses, std::uint64_t seed) {
+  SimWindow w;
+  w.m = m;
+  w.n = n;
+  w.num_resources = resources;
+  w.txs.reserve(static_cast<std::size_t>(m) * n);
+  Xoshiro256 rng(seed);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      w.txs.push_back(SimTransaction{i, j, draw_distinct(rng, 0, resources, accesses)});
+    }
+  }
+  return w;
+}
+
+SimWindow make_columnar_window(std::uint32_t m, std::uint32_t n,
+                               std::uint32_t resources_per_column, std::uint32_t accesses,
+                               std::uint64_t seed) {
+  SimWindow w;
+  w.m = m;
+  w.n = n;
+  w.num_resources = resources_per_column * n;
+  w.txs.reserve(static_cast<std::size_t>(m) * n);
+  Xoshiro256 rng(seed);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      w.txs.push_back(SimTransaction{
+          i, j, draw_distinct(rng, j * resources_per_column, resources_per_column, accesses)});
+    }
+  }
+  return w;
+}
+
+}  // namespace wstm::sim

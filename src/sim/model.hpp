@@ -1,0 +1,48 @@
+// Discrete-time model of the execution-window world of the paper's theory
+// (Section II): an M × N window of unit-duration (τ = 1 step) transactions
+// with explicit resource sets. The simulator complements the real STM
+// benches in two ways:
+//  * it can run the *Offline* algorithm, which needs the conflict graph and
+//    was therefore not evaluated in the paper's DSTM2 experiments;
+//  * it measures makespan in virtual steps, so the scaling shape over
+//    M = 1..32 is exact even on a host with a single hardware thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wstm::sim {
+
+struct SimTransaction {
+  std::uint32_t thread = 0;
+  std::uint32_t index = 0;  // position j within the thread's window
+  std::vector<std::uint32_t> resources;
+};
+
+struct SimWindow {
+  std::uint32_t m = 0;  // threads
+  std::uint32_t n = 0;  // transactions per thread
+  std::uint32_t num_resources = 0;
+  std::vector<SimTransaction> txs;  // row-major: tx(i, j) = txs[i * n + j]
+
+  const SimTransaction& tx(std::uint32_t thread, std::uint32_t index) const {
+    return txs[static_cast<std::size_t>(thread) * n + index];
+  }
+  std::uint32_t total() const { return m * n; }
+};
+
+/// Uniform workload: every transaction draws `accesses` distinct resources
+/// from one global pool of `resources` — conflicts scattered everywhere.
+SimWindow make_random_window(std::uint32_t m, std::uint32_t n, std::uint32_t resources,
+                             std::uint32_t accesses, std::uint64_t seed);
+
+/// Columnar workload (the favorable scenario the paper motivates: conflicts
+/// frequent inside the same column, absent across columns): column j draws
+/// from its private pool of `resources_per_column` resources.
+SimWindow make_columnar_window(std::uint32_t m, std::uint32_t n,
+                               std::uint32_t resources_per_column, std::uint32_t accesses,
+                               std::uint64_t seed);
+
+}  // namespace wstm::sim

@@ -1,0 +1,149 @@
+// The shared step engine for all discrete-time schedulers (see
+// schedulers.hpp for the model).
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sim/schedulers.hpp"
+#include "window/frame_clock.hpp"
+
+namespace wstm::sim {
+
+std::string scheduler_name(const SchedulerOptions& options) {
+  using Mode = SchedulerOptions::Mode;
+  switch (options.mode) {
+    case Mode::kOffline:
+      return options.dynamic_frames ? "Sim-Offline-Dynamic" : "Sim-Offline";
+    case Mode::kOnline:
+      return options.dynamic_frames ? "Sim-Online-Dynamic" : "Sim-Online";
+    case Mode::kOneshotRR:
+      return "Sim-OneshotRR";
+    case Mode::kGreedyTimestamp:
+      return "Sim-Greedy";
+  }
+  return "?";
+}
+
+SimResult run_scheduler(const SimWindow& window, const ConflictGraph& graph,
+                        const SchedulerOptions& options, Xoshiro256& rng) {
+  using Mode = SchedulerOptions::Mode;
+  const std::uint32_t m = window.m;
+  const std::uint32_t n = window.n;
+  const bool frames = options.mode == Mode::kOffline || options.mode == Mode::kOnline;
+
+  const double mn = std::max(2.0, static_cast<double>(m) * n);
+  const double log_mn = std::log(mn);
+  const auto phi = static_cast<std::uint64_t>(std::max(
+      1.0, options.frame_factor * std::pow(log_mn, options.frame_log_exponent)));
+
+  // Per-thread state.
+  std::vector<std::uint32_t> next(m, 0);     // front index
+  std::vector<std::uint64_t> q(m, 0);        // initial delay in frames
+  std::vector<std::uint64_t> prio2(m, 0);    // RandomizedRounds priority
+  std::vector<std::uint64_t> issue(m, 0);    // timestamp of the front tx
+  if (frames) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const double ci = options.c_override > 0.0
+                            ? options.c_override
+                            : std::max<double>(1.0, graph.max_degree_of_thread(i));
+      const std::uint64_t alpha = window::delay_range_alpha(ci, m, n);
+      q[i] = rng.below(alpha);
+    }
+  }
+  for (std::uint32_t i = 0; i < m; ++i) prio2[i] = 1 + rng.below(m);
+
+  SimResult result;
+  std::uint64_t step = 0;
+  std::uint64_t dyn_frame = 0;
+  std::uint32_t done_threads = 0;
+
+  std::vector<std::uint32_t> fronts;
+  std::vector<std::uint32_t> selected;
+  fronts.reserve(m);
+  selected.reserve(m);
+
+  while (done_threads < m) {
+    // Current frame.
+    std::uint64_t cur_frame = 0;
+    if (frames) {
+      if (options.dynamic_frames) {
+        // Contraction/expansion: the frame is always the earliest one that
+        // still has an uncommitted assigned transaction.
+        std::uint64_t min_assigned = UINT64_MAX;
+        for (std::uint32_t i = 0; i < m; ++i) {
+          if (next[i] < n) min_assigned = std::min(min_assigned, q[i] + next[i]);
+        }
+        dyn_frame = std::max(dyn_frame, min_assigned);
+        cur_frame = dyn_frame;
+      } else {
+        cur_frame = step / phi;
+      }
+    }
+
+    // Gather fronts with their priority keys.
+    fronts.clear();
+    for (std::uint32_t i = 0; i < m; ++i) {
+      if (next[i] < n) fronts.push_back(i);
+    }
+    auto key_less = [&](std::uint32_t a, std::uint32_t b) {
+      auto pi1 = [&](std::uint32_t i) -> std::uint64_t {
+        if (!frames) return 0;
+        return q[i] + next[i] <= cur_frame ? 0 : 1;  // 0 = high priority
+      };
+      std::uint64_t ka1 = pi1(a), kb1 = pi1(b);
+      if (ka1 != kb1) return ka1 < kb1;
+      std::uint64_t ka2 = 0, kb2 = 0;
+      switch (options.mode) {
+        case Mode::kOffline:
+          break;  // deterministic tie-break below
+        case Mode::kOnline:
+        case Mode::kOneshotRR:
+          ka2 = prio2[a];
+          kb2 = prio2[b];
+          break;
+        case Mode::kGreedyTimestamp:
+          ka2 = issue[a];
+          kb2 = issue[b];
+          break;
+      }
+      if (ka2 != kb2) return ka2 < kb2;
+      return a < b;
+    };
+    std::sort(fronts.begin(), fronts.end(), key_less);
+
+    // Greedy maximal independent set in priority order.
+    selected.clear();
+    for (const std::uint32_t i : fronts) {
+      const std::uint32_t t = i * n + next[i];
+      bool blocked = false;
+      for (const std::uint32_t s : selected) {
+        if (graph.conflicts(t, s * n + next[s])) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) selected.push_back(i);
+    }
+
+    // Winners commit, everyone else aborted this step.
+    for (const std::uint32_t i : fronts) {
+      const bool won = std::find(selected.begin(), selected.end(), i) != selected.end();
+      if (won) {
+        ++result.commits;
+        ++next[i];
+        if (next[i] == n) ++done_threads;
+        issue[i] = step + 1;
+        prio2[i] = 1 + rng.below(m);
+      } else {
+        ++result.aborts;
+        prio2[i] = 1 + rng.below(m);  // RandomizedRounds redraw after abort
+      }
+    }
+    ++step;
+  }
+  result.makespan = step;
+  return result;
+}
+
+}  // namespace wstm::sim

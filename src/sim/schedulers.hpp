@@ -1,0 +1,61 @@
+// Discrete-time schedulers over a SimWindow.
+//
+// All schedulers share one step engine: each virtual step, every thread's
+// front transaction attempts to run; a greedy maximal independent set in
+// priority order commits (τ = 1 step), everything that conflicted with a
+// winner counts one abort and retries next step. Threads execute their N
+// transactions serially, exactly as in the window model.
+//
+// Scheduler          priority key per front transaction
+// ------------------ ----------------------------------------------------
+// SimOffline         (π1 from frames, thread id)        — Algorithm 1 [36]
+// SimOnline          (π1 from frames, random π2)        — Algorithm 2 [36]
+// SimOneshotRR       (random π2)             — RandomizedRounds, no window
+// SimGreedy          (first-issue timestamp) — Greedy-style oldest-first
+//
+// The frame-based schedulers support static frames (advance every Φ =
+// frame_factor · ln(MN)^e steps) and dynamic frames (advance as soon as the
+// current frame has drained — the paper's contraction/expansion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/conflict_graph.hpp"
+#include "sim/model.hpp"
+
+namespace wstm::sim {
+
+struct SimResult {
+  std::uint64_t makespan = 0;  // steps until every transaction committed
+  std::uint64_t aborts = 0;
+  std::uint64_t commits = 0;
+
+  double aborts_per_commit() const {
+    return commits == 0 ? 0.0 : static_cast<double>(aborts) / static_cast<double>(commits);
+  }
+  /// Committed transactions per step — the virtual-time throughput.
+  double throughput() const {
+    return makespan == 0 ? 0.0 : static_cast<double>(commits) / static_cast<double>(makespan);
+  }
+};
+
+struct SchedulerOptions {
+  enum class Mode { kOffline, kOnline, kOneshotRR, kGreedyTimestamp };
+  Mode mode = Mode::kOnline;
+  bool dynamic_frames = false;
+  double frame_factor = 1.0;
+  double frame_log_exponent = 1.0;  // Offline theory: 1; Online theory: 2
+  /// Override the per-thread contention estimate used for the delay draw;
+  /// 0 = measure C_i from the conflict graph (the "known C_i" assumption).
+  double c_override = 0.0;
+};
+
+std::string scheduler_name(const SchedulerOptions& options);
+
+/// Runs the window to completion. `graph` must be the conflict graph of
+/// `window`.
+SimResult run_scheduler(const SimWindow& window, const ConflictGraph& graph,
+                        const SchedulerOptions& options, Xoshiro256& rng);
+
+}  // namespace wstm::sim

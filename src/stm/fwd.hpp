@@ -1,0 +1,35 @@
+// Shared enums and forward declarations for the STM core.
+#pragma once
+
+#include <cstdint>
+
+namespace wstm::stm {
+
+class Runtime;
+class Tx;
+class ThreadCtx;
+struct TxDesc;
+class TObjectBase;
+
+/// Lifecycle of one transaction attempt. Committed/Aborted are absorbing:
+/// the only transitions are Active -> Committed (self, at commit) and
+/// Active -> Aborted (self or any enemy, via CAS).
+enum class TxStatus : std::uint32_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+
+/// What kind of conflict a contention manager is asked to resolve, always
+/// from the perspective of the transaction doing the open.
+enum class ConflictKind : std::uint8_t {
+  kWriteWrite,  // I want to acquire; enemy is the active owner
+  kWriteRead,   // I want to acquire; enemy is an active visible reader
+  kReadWrite,   // I want to read; enemy is the active owner
+};
+
+/// Contention-manager verdict for one conflict.
+enum class Resolution : std::uint8_t {
+  kAbortEnemy,  // runtime CASes the enemy's status to Aborted and proceeds
+  kAbortSelf,   // runtime aborts the calling transaction (it will retry)
+  kRetry,       // state may have changed (enemy finished / after a wait);
+                // runtime re-examines the conflict from scratch
+};
+
+}  // namespace wstm::stm

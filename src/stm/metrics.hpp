@@ -1,0 +1,69 @@
+// Per-thread transactional metrics and their aggregation.
+//
+// Counters are written only by the owning thread (each slot is cache-line
+// padded) and read by the harness after the threads have joined, so plain
+// non-atomic fields suffice for the hot path except where noted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wstm::stm {
+
+/// Counters for one thread. Reset between measurement phases.
+struct ThreadMetrics {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+
+  // Conflicts seen at open time, by kind (from the opener's perspective).
+  std::uint64_t ww_conflicts = 0;
+  std::uint64_t wr_conflicts = 0;
+  std::uint64_t rw_conflicts = 0;
+  /// Conflicts against the same enemy attempt as the previous conflict on
+  /// this thread ("repeat conflicts" — time spent fighting one enemy).
+  std::uint64_t repeat_conflicts = 0;
+
+  /// Wall time spent in attempts that ended in abort ("wasted work").
+  std::int64_t wasted_ns = 0;
+  /// Wall time spent in attempts that committed.
+  std::int64_t committed_ns = 0;
+  /// Sum over committed transactions of (commit time - first attempt begin):
+  /// response time, including all retries.
+  std::int64_t response_ns = 0;
+  /// Total attempts whose conflict loop waited at least once.
+  std::uint64_t waits = 0;
+
+  void reset() { *this = ThreadMetrics{}; }
+
+  ThreadMetrics& operator+=(const ThreadMetrics& other) {
+    commits += other.commits;
+    aborts += other.aborts;
+    ww_conflicts += other.ww_conflicts;
+    wr_conflicts += other.wr_conflicts;
+    rw_conflicts += other.rw_conflicts;
+    repeat_conflicts += other.repeat_conflicts;
+    wasted_ns += other.wasted_ns;
+    committed_ns += other.committed_ns;
+    response_ns += other.response_ns;
+    waits += other.waits;
+    return *this;
+  }
+};
+
+/// Derived quantities the paper reports.
+struct MetricsSummary {
+  double throughput_per_s = 0.0;     // commits / elapsed seconds
+  double aborts_per_commit = 0.0;    // Fig. 4's metric
+  double wasted_fraction = 0.0;      // wasted / (wasted + committed) time
+  double mean_response_us = 0.0;     // mean committed response time
+  double repeat_conflicts_per_commit = 0.0;  // paper §IV "repeat conflicts"
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+
+  std::string to_string() const;
+};
+
+/// Summarizes a totals struct over an elapsed wall-clock duration.
+MetricsSummary summarize(const ThreadMetrics& totals, std::int64_t elapsed_ns);
+
+}  // namespace wstm::stm

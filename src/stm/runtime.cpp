@@ -1,0 +1,368 @@
+// The DSTM locator protocol with visible reads. See tobject.hpp for the
+// protocol overview and DESIGN.md §5 for the consistency argument.
+#include "stm/runtime.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace wstm::stm {
+
+namespace {
+/// Releases the slot reference held by the current_tx_ published pointer;
+/// deferred through EBR so enemies dereferencing the pointer stay safe.
+void release_desc_ref(void* desc_ptr) { static_cast<TxDesc*>(desc_ptr)->release(); }
+}  // namespace
+
+Runtime::Runtime(cm::ManagerPtr manager, Config config)
+    : manager_(std::move(manager)), config_(config) {
+  if (!manager_) throw std::invalid_argument("Runtime requires a contention manager");
+}
+
+Runtime::~Runtime() {
+  for (unsigned i = 0; i < kMaxThreads; ++i) {
+    if (threads_[i]) detach_thread(*threads_[i]);
+  }
+}
+
+ThreadCtx& Runtime::attach_thread() {
+  std::lock_guard<std::mutex> lock(attach_mutex_);
+  for (unsigned i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (slot_used_[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      const std::uint64_t seed = config_.seed * 0x9e3779b97f4a7c15ULL + i + 1;
+      threads_[i].reset(new ThreadCtx(this, i, ebr_.attach(), seed));
+      return *threads_[i];
+    }
+  }
+  throw std::runtime_error("Runtime: all thread slots in use");
+}
+
+void Runtime::detach_thread(ThreadCtx& tc) {
+  const unsigned slot = tc.slot_;
+  // Drop the published descriptor's slot reference (no enemy can be pinned
+  // on it once this thread has stopped running transactions and the caller
+  // serializes detach with workload completion).
+  TxDesc* prev = current_tx_[slot]->exchange(nullptr, std::memory_order_acq_rel);
+  if (prev != nullptr) prev->release();
+  threads_[slot].reset();
+  slot_used_[slot].store(false, std::memory_order_release);
+}
+
+TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_retry) {
+  tc.ebr_.pin();
+
+  auto* desc = new TxDesc();
+  desc->thread_slot = tc.slot_;
+  desc->serial = ++tc.serial_;
+  desc->begin_ns = now_ns();
+  desc->first_begin_ns = first_begin;
+
+  // Publish: one reference for the slot pointer (released via EBR when the
+  // next attempt replaces it) plus the constructor's own reference for the
+  // executing thread.
+  desc->add_ref();
+  TxDesc* prev = current_tx_[tc.slot_]->exchange(desc, std::memory_order_acq_rel);
+  if (prev != nullptr) tc.ebr_.retire(prev, &release_desc_ref);
+
+  tc.current_ = desc;
+  tc.waited_this_attempt_ = false;
+  manager_->on_begin(tc, *desc, is_retry);
+  return desc;
+}
+
+bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
+  TxDesc* desc = tc.current_;
+  // Invisible reads: the read set must still be current at the commit
+  // point (throws TxAbort into the atomically() retry loop on failure).
+  if (!config_.visible_reads) validate_reads(tc);
+  TxStatus expected = TxStatus::kActive;
+  const bool committed = desc->status.compare_exchange_strong(
+      expected, TxStatus::kCommitted, std::memory_order_seq_cst);
+  if (committed) {
+    cleanup_attempt(tc, /*committed=*/true);
+    return true;
+  }
+  // Killed by an enemy between the last open and the commit point.
+  cleanup_attempt(tc, /*committed=*/false);
+  return false;
+}
+
+void Runtime::finish_attempt_abort(ThreadCtx& tc) {
+  TxDesc* desc = tc.current_;
+  desc->try_abort();  // may already be aborted (remote kill or restart())
+  cleanup_attempt(tc, /*committed=*/false);
+}
+
+void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
+  TxDesc* desc = tc.current_;
+  const std::uint64_t clear_mask = ~(1ULL << tc.slot_);
+  for (TObjectBase* obj : tc.read_set_) {
+    obj->readers_.fetch_and(clear_mask, std::memory_order_acq_rel);
+  }
+  tc.read_set_.clear();
+  tc.invis_reads_.clear();
+
+  const std::int64_t elapsed = now_ns() - desc->begin_ns;
+  if (committed) {
+    for (const auto& r : tc.commit_retires_) tc.ebr_.retire(r.ptr, r.deleter);
+    tc.commit_retires_.clear();
+    tc.allocs_.clear();  // ownership passed to the data structure
+    tc.metrics_.commits++;
+    tc.metrics_.committed_ns += elapsed;
+    tc.metrics_.response_ns += now_ns() - desc->first_begin_ns;
+    manager_->on_commit(tc, *desc);
+  } else {
+    for (const auto& a : tc.allocs_) a.deleter(a.ptr);
+    tc.allocs_.clear();
+    tc.commit_retires_.clear();
+    tc.metrics_.aborts++;
+    tc.metrics_.wasted_ns += elapsed;
+    manager_->on_abort(tc, *desc);
+  }
+  if (tc.waited_this_attempt_) tc.metrics_.waits++;
+
+  // Release a leftover aborter registration the manager did not claim
+  // (e.g. the registering enemy lost the kill race and we committed).
+  if (TxDesc* by = desc->aborted_by.exchange(nullptr, std::memory_order_acq_rel)) {
+    by->release();
+  }
+
+  tc.current_ = nullptr;
+  desc->release();  // the executing thread's reference
+  tc.ebr_.unpin();
+}
+
+void Runtime::maybe_emulate_preemption(ThreadCtx& tc) {
+  const std::uint32_t permille = config_.preempt_yield_permille;
+  if (permille != 0 && tc.rng_.below(1000) < permille) std::this_thread::yield();
+}
+
+void Runtime::note_conflict(ThreadCtx& tc, const TxDesc& enemy) {
+  if (tc.last_enemy_slot_ == enemy.thread_slot && tc.last_enemy_serial_ == enemy.serial) {
+    tc.metrics_.repeat_conflicts++;
+  } else {
+    tc.last_enemy_slot_ = enemy.thread_slot;
+    tc.last_enemy_serial_ = enemy.serial;
+  }
+}
+
+void Runtime::ensure_alive(ThreadCtx& tc) {
+  if (!tc.current_->is_active()) throw TxAbort{};
+}
+
+void Runtime::abort_self(ThreadCtx& tc) {
+  tc.current_->try_abort();
+  throw TxAbort{};
+}
+
+const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
+  maybe_emulate_preemption(tc);
+  if (!config_.visible_reads) return open_read_invisible(tc, obj);
+  TxDesc* me = tc.current_;
+  const std::uint64_t my_bit = 1ULL << tc.slot_;
+
+  // Announce visibility first (flag protocol: bit-set must precede the
+  // locator load so an acquiring writer either sees our bit in its snapshot
+  // or we see its locator — both orders get the conflict resolved).
+  if ((obj.readers_.load(std::memory_order_relaxed) & my_bit) == 0) {
+    obj.readers_.fetch_or(my_bit, std::memory_order_seq_cst);
+    tc.read_set_.push_back(&obj);
+  }
+
+  for (;;) {
+    ensure_alive(tc);
+    Locator* l = obj.loc_.load(std::memory_order_seq_cst);
+    TxDesc* owner = l->owner;
+    if (owner == nullptr || owner == me) {
+      manager_->on_open(tc, *me);
+      return l->new_version;
+    }
+    const TxStatus st = owner->status.load(std::memory_order_acquire);
+    if (st == TxStatus::kCommitted) {
+      manager_->on_open(tc, *me);
+      return l->new_version;
+    }
+    if (st == TxStatus::kAborted) {
+      manager_->on_open(tc, *me);
+      return l->old_version;
+    }
+    // Active enemy writer.
+    tc.metrics_.rw_conflicts++;
+    note_conflict(tc, *owner);
+    const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kReadWrite);
+    if (res == Resolution::kAbortEnemy) {
+      owner->try_abort();  // loop re-reads; even if it committed we proceed
+    } else if (res == Resolution::kAbortSelf) {
+      abort_self(tc);
+    } else {
+      tc.waited_this_attempt_ = true;  // kRetry after an internal wait
+    }
+  }
+}
+
+const void* Runtime::open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
+  TxDesc* me = tc.current_;
+  for (;;) {
+    ensure_alive(tc);
+    Locator* l = obj.loc_.load(std::memory_order_seq_cst);
+    TxDesc* owner = l->owner;
+    const void* version = nullptr;
+    if (owner == nullptr || owner == me) {
+      version = l->new_version;
+    } else {
+      const TxStatus st = owner->status.load(std::memory_order_acquire);
+      if (st == TxStatus::kCommitted) {
+        version = l->new_version;
+      } else if (st == TxStatus::kAborted) {
+        version = l->old_version;
+      } else {
+        // Eager conflict with an active writer, same arbitration as the
+        // visible path.
+        tc.metrics_.rw_conflicts++;
+        note_conflict(tc, *owner);
+        const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kReadWrite);
+        if (res == Resolution::kAbortEnemy) {
+          owner->try_abort();
+        } else if (res == Resolution::kAbortSelf) {
+          abort_self(tc);
+        } else {
+          tc.waited_this_attempt_ = true;
+        }
+        continue;
+      }
+    }
+    // Incremental validation (DSTM): everything read so far must still be
+    // current, and this object's locator must not have changed while we
+    // validated — then the whole read set is a snapshot as of this instant.
+    validate_reads(tc);
+    if (obj.loc_.load(std::memory_order_seq_cst) != l) continue;
+    // Own acquisitions are protected by ownership, not validation.
+    if (owner != me) tc.invis_reads_.push_back({&obj, version});
+    manager_->on_open(tc, *me);
+    return version;
+  }
+}
+
+const void* Runtime::committed_version(TxDesc* me, TObjectBase& obj) const {
+  Locator* l = obj.loc_.load(std::memory_order_acquire);
+  TxDesc* owner = l->owner;
+  if (owner == nullptr) return l->new_version;
+  // If we acquired the object after reading it, the version we observed
+  // became our locator's old_version (clone-on-write keeps it in place).
+  if (owner == me) return l->old_version;
+  return owner->status.load(std::memory_order_acquire) == TxStatus::kCommitted
+             ? l->new_version
+             : l->old_version;
+}
+
+void Runtime::validate_reads(ThreadCtx& tc) {
+  TxDesc* me = tc.current_;
+  for (const auto& r : tc.invis_reads_) {
+    if (committed_version(me, *r.obj) != r.version) abort_self(tc);
+  }
+}
+
+void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
+  maybe_emulate_preemption(tc);
+  TxDesc* me = tc.current_;
+
+  for (;;) {
+    ensure_alive(tc);
+    Locator* l = obj.loc_.load(std::memory_order_seq_cst);
+    TxDesc* owner = l->owner;
+    if (owner == me) {
+      manager_->on_open(tc, *me);
+      return l->new_version;  // already acquired in this attempt
+    }
+
+    void* current = nullptr;
+    void* dead = nullptr;
+    if (owner == nullptr) {
+      current = l->new_version;
+    } else {
+      const TxStatus st = owner->status.load(std::memory_order_acquire);
+      if (st == TxStatus::kCommitted) {
+        current = l->new_version;
+        dead = l->old_version;
+      } else if (st == TxStatus::kAborted) {
+        current = l->old_version;
+        dead = l->new_version;
+      } else {
+        tc.metrics_.ww_conflicts++;
+        note_conflict(tc, *owner);
+        const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kWriteWrite);
+        if (res == Resolution::kAbortEnemy) {
+          owner->try_abort();
+        } else if (res == Resolution::kAbortSelf) {
+          abort_self(tc);
+        } else {
+          tc.waited_this_attempt_ = true;
+        }
+        continue;
+      }
+    }
+
+    auto* fresh = new Locator{me, current, obj.clone_(current), nullptr, obj.destroy_};
+    me->add_ref();
+    if (obj.loc_.compare_exchange_strong(l, fresh, std::memory_order_seq_cst)) {
+      // `l` is now unreachable for new opens; readers pinned in EBR may
+      // still hold it, so retire rather than free. The losing version dies
+      // with it.
+      l->dead_version = dead;
+      tc.ebr_.retire(l, &Locator::reclaim);
+      if (config_.visible_reads) {
+        resolve_readers(tc, obj);
+      } else {
+        validate_reads(tc);  // DSTM validates on every open
+      }
+      manager_->on_open(tc, *me);
+      return fresh->new_version;
+    }
+    // Lost the install race; roll back the speculative locator.
+    obj.destroy_(fresh->new_version);
+    delete fresh;
+    me->release();
+  }
+}
+
+void Runtime::resolve_readers(ThreadCtx& tc, TObjectBase& obj) {
+  TxDesc* me = tc.current_;
+  std::uint64_t bits =
+      obj.readers_.load(std::memory_order_seq_cst) & ~(1ULL << tc.slot_);
+  while (bits != 0) {
+    const unsigned slot = static_cast<unsigned>(__builtin_ctzll(bits));
+    bits &= bits - 1;
+    for (;;) {
+      ensure_alive(tc);
+      TxDesc* enemy = tx_of_slot(slot);
+      if (enemy == nullptr || enemy == me || !enemy->is_active()) break;
+      tc.metrics_.wr_conflicts++;
+      note_conflict(tc, *enemy);
+      const Resolution res = manager_->resolve(tc, *me, *enemy, ConflictKind::kWriteRead);
+      if (res == Resolution::kAbortEnemy) {
+        enemy->try_abort();
+        break;
+      }
+      if (res == Resolution::kAbortSelf) abort_self(tc);
+      tc.waited_this_attempt_ = true;  // kRetry: re-examine this reader
+    }
+  }
+}
+
+ThreadMetrics Runtime::total_metrics() const {
+  std::lock_guard<std::mutex> lock(attach_mutex_);
+  ThreadMetrics total;
+  for (const auto& t : threads_) {
+    if (t) total += t->metrics_;
+  }
+  return total;
+}
+
+void Runtime::reset_metrics() {
+  std::lock_guard<std::mutex> lock(attach_mutex_);
+  for (const auto& t : threads_) {
+    if (t) t->metrics_.reset();
+  }
+}
+
+}  // namespace wstm::stm

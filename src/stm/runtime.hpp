@@ -1,0 +1,278 @@
+// STM runtime: thread registry, transaction execution loop, and the
+// open-for-read / open-for-write protocol entry points.
+//
+// Typical use:
+//
+//   stm::Runtime rt(cm::make_manager("Polka", cm::Params{.threads = 4}));
+//   stm::ThreadCtx& tc = rt.attach_thread();     // once per OS thread
+//   int found = rt.atomically(tc, [&](stm::Tx& tx) {
+//     const Node* head = list.head.open_read(tx);
+//     ...
+//     Node* n = node.open_write(tx);
+//     n->value = 7;
+//     return 1;
+//   });
+//
+// The lambda may run many times (every abort restarts it — greedy
+// contention management); it must be pure apart from TObject accesses and
+// tx.make / tx.retire_on_commit allocations.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "cm/manager.hpp"
+#include "ebr/ebr.hpp"
+#include "stm/fwd.hpp"
+#include "stm/metrics.hpp"
+#include "stm/tobject.hpp"
+#include "stm/tx.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+#include "util/timing.hpp"
+
+namespace wstm::stm {
+
+/// Thrown (internally) to unwind an aborted attempt. User code should let
+/// it propagate out of the atomically() lambda.
+struct TxAbort {};
+
+/// Per-OS-thread context. Obtain via Runtime::attach_thread(); not
+/// thread-safe, use only from the owning thread.
+class ThreadCtx {
+ public:
+  unsigned slot() const noexcept { return slot_; }
+  ThreadMetrics& metrics() noexcept { return metrics_; }
+  Xoshiro256& rng() noexcept { return rng_; }
+  Runtime& runtime() noexcept { return *rt_; }
+  /// The attempt currently executing on this thread (null between
+  /// transactions). Enemies access descriptors via Runtime::tx_of_slot.
+  TxDesc* current() noexcept { return current_; }
+
+ private:
+  friend class Runtime;
+  friend class Tx;
+
+  struct TrackedAlloc {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  ThreadCtx(Runtime* rt, unsigned slot, ebr::Handle handle, std::uint64_t seed)
+      : rt_(rt), slot_(slot), ebr_(std::move(handle)), rng_(seed) {}
+
+  Runtime* rt_;
+  unsigned slot_;
+  ebr::Handle ebr_;
+  Xoshiro256 rng_;
+  TxDesc* current_ = nullptr;
+  std::uint64_t serial_ = 0;
+  ThreadMetrics metrics_;
+  std::vector<TObjectBase*> read_set_;  // visible mode: objects with our bit
+  struct InvisRead {
+    TObjectBase* obj;
+    const void* version;  // committed version observed at open
+  };
+  std::vector<InvisRead> invis_reads_;  // invisible mode: validation set
+  std::vector<TrackedAlloc> allocs_;
+  std::vector<TrackedAlloc> commit_retires_;
+  bool waited_this_attempt_ = false;
+  // Identity of the last conflicting enemy attempt (repeat-conflict metric).
+  std::uint32_t last_enemy_slot_ = UINT32_MAX;
+  std::uint64_t last_enemy_serial_ = 0;
+};
+
+/// Handle passed to the user's transaction body.
+class Tx {
+ public:
+  const void* open_read(TObjectBase& obj);  // defined after Runtime below
+  void* open_write(TObjectBase& obj);
+
+  /// Allocate an object tied to this transaction: deleted automatically if
+  /// the transaction aborts, kept (caller/structure owns it) on commit.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    T* p = new T(std::forward<Args>(args)...);
+    tc_->allocs_.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+    return p;
+  }
+
+  /// Defer deletion of `obj` (typically an unlinked node) until after this
+  /// transaction commits *and* an EBR grace period has passed. No-op if the
+  /// transaction aborts.
+  template <typename T>
+  void retire_on_commit(T* obj) {
+    tc_->commit_retires_.push_back({obj, [](void* q) { delete static_cast<T*>(q); }});
+  }
+
+  /// Explicitly abort and retry this transaction (e.g. user-level retry).
+  [[noreturn]] void restart() {
+    desc_->try_abort();
+    throw TxAbort{};
+  }
+
+  TxDesc& desc() noexcept { return *desc_; }
+  ThreadCtx& thread() noexcept { return *tc_; }
+  Xoshiro256& rng() noexcept { return tc_->rng(); }
+
+ private:
+  friend class Runtime;
+  Tx(Runtime* rt, ThreadCtx* tc, TxDesc* desc) : rt_(rt), tc_(tc), desc_(desc) {}
+
+  Runtime* rt_;
+  ThreadCtx* tc_;
+  TxDesc* desc_;
+};
+
+struct RuntimeConfig {
+  std::uint64_t seed = 0x5eed;  // base seed for per-thread RNGs
+
+  /// Preemption emulation for hosts with fewer hardware threads than
+  /// benchmark threads: with probability permille/1000, yield the CPU at
+  /// each object open. On a single-core host OS timeslices (~ms) dwarf
+  /// transaction lengths (~us), so transactions almost never interleave
+  /// and conflicts vanish; yielding at open granularity restores the
+  /// interleaving a multicore would produce, at the exact points where
+  /// conflicts arise. 0 disables (the default; use 0 on real multicore).
+  std::uint32_t preempt_yield_permille = 0;
+
+  /// Read mode, mirroring DSTM2's two options (the paper used visible):
+  ///  * visible (default): readers announce themselves in the per-object
+  ///    reader bitmap; writers abort them eagerly, no validation needed.
+  ///  * invisible: readers leave no trace; instead the read set
+  ///    (object, observed version) is re-validated on every subsequent
+  ///    open and at commit — O(R) per open, the classic DSTM trade-off.
+  ///    Writers never see readers, so read-write conflicts surface as the
+  ///    reader's own validation aborts.
+  bool visible_reads = true;
+};
+
+class Runtime {
+ public:
+  static constexpr unsigned kMaxThreads = 64;
+
+  using Config = RuntimeConfig;
+
+  explicit Runtime(cm::ManagerPtr manager, Config config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Claims a thread slot. The returned context stays valid until
+  /// detach_thread (or Runtime destruction).
+  ThreadCtx& attach_thread();
+  void detach_thread(ThreadCtx& tc);
+
+  cm::ContentionManager& manager() noexcept { return *manager_; }
+  ebr::Domain& ebr_domain() noexcept { return ebr_; }
+
+  /// The currently-published attempt of thread `slot` (may be finished; may
+  /// be null). Only call while pinned (i.e. inside a transaction) — the
+  /// pointer is protected by EBR.
+  TxDesc* tx_of_slot(unsigned slot) noexcept {
+    return current_tx_[slot]->load(std::memory_order_acquire);
+  }
+
+  /// Runs `fn(Tx&)` as a transaction, retrying on aborts until it commits.
+  /// Returns fn's result.
+  template <typename F>
+  auto atomically(ThreadCtx& tc, F&& fn) {
+    using Result = std::invoke_result_t<F&, Tx&>;
+    const std::int64_t first_begin = now_ns();
+    bool is_retry = false;
+    for (;;) {
+      TxDesc* desc = begin_attempt(tc, first_begin, is_retry);
+      Tx tx(this, &tc, desc);
+      try {
+        if constexpr (std::is_void_v<Result>) {
+          fn(tx);
+          if (finish_attempt_commit(tc)) return;
+        } else {
+          Result result = fn(tx);
+          if (finish_attempt_commit(tc)) return result;
+        }
+        // Lost the commit race (killed between the last open and the commit
+        // point); finish_attempt_commit already cleaned up as an abort.
+      } catch (const TxAbort&) {
+        finish_attempt_abort(tc);
+      } catch (...) {
+        finish_attempt_abort(tc);
+        throw;
+      }
+      is_retry = true;
+    }
+  }
+
+  /// Sum of metrics over all ever-attached threads. Call after workers have
+  /// joined (or accept slightly stale per-thread values).
+  ThreadMetrics total_metrics() const;
+  /// Clears all per-thread metrics (between warmup and measurement).
+  void reset_metrics();
+
+ private:
+  friend class Tx;
+
+  const void* open_read(ThreadCtx& tc, TObjectBase& obj);
+  const void* open_read_invisible(ThreadCtx& tc, TObjectBase& obj);
+  void* open_write(ThreadCtx& tc, TObjectBase& obj);
+
+  TxDesc* begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_retry);
+  bool finish_attempt_commit(ThreadCtx& tc);  // false = lost the commit race
+  void finish_attempt_abort(ThreadCtx& tc);
+
+  /// See RuntimeConfig::preempt_yield_permille.
+  void maybe_emulate_preemption(ThreadCtx& tc);
+
+  /// Repeat-conflict accounting: conflicts against the same enemy attempt
+  /// as the previous conflict on this thread.
+  void note_conflict(ThreadCtx& tc, const TxDesc& enemy);
+
+  /// Invisible-read mode: the committed version of `obj` as of now, given
+  /// that `me` owns its own acquisitions. Never blocks.
+  const void* committed_version(TxDesc* me, TObjectBase& obj) const;
+  /// Invisible-read mode: abort self unless every recorded read still
+  /// matches the object's current committed version.
+  void validate_reads(ThreadCtx& tc);
+
+  /// Throws TxAbort if the calling transaction has been killed remotely.
+  void ensure_alive(ThreadCtx& tc);
+  /// Kills the own transaction and throws TxAbort.
+  [[noreturn]] void abort_self(ThreadCtx& tc);
+
+  /// Resolve the visible readers present at acquire time.
+  void resolve_readers(ThreadCtx& tc, TObjectBase& obj);
+
+  void cleanup_attempt(ThreadCtx& tc, bool committed);
+
+  cm::ManagerPtr manager_;
+  Config config_;
+  ebr::Domain ebr_;
+  std::array<CacheAligned<std::atomic<TxDesc*>>, kMaxThreads> current_tx_{};
+  std::array<std::unique_ptr<ThreadCtx>, kMaxThreads> threads_{};
+  std::array<std::atomic<bool>, kMaxThreads> slot_used_{};
+  mutable std::mutex attach_mutex_;
+};
+
+inline const void* Tx::open_read(TObjectBase& obj) { return rt_->open_read(*tc_, obj); }
+inline void* Tx::open_write(TObjectBase& obj) { return rt_->open_write(*tc_, obj); }
+
+// ---- TObject template methods (need the complete Tx) ----------------------
+
+template <typename T>
+const T* TObject<T>::open_read(Tx& tx) {
+  return static_cast<const T*>(tx.open_read(*this));
+}
+
+template <typename T>
+T* TObject<T>::open_write(Tx& tx) {
+  return static_cast<T*>(tx.open_write(*this));
+}
+
+}  // namespace wstm::stm

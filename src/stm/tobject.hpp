@@ -1,0 +1,119 @@
+// Transactional objects: the DSTM locator protocol (Herlihy, Luchangco,
+// Moir, Scherer, PODC'03), as used by DSTM2 with visible reads.
+//
+// Every TObject holds an atomic pointer to an immutable Locator naming an
+// owner transaction and two versions of the payload:
+//
+//     current committed version =  new_version  if owner committed (or none)
+//                                  old_version  if owner aborted or active
+//
+// A writer acquires the object by CASing in a fresh locator whose
+// old_version is the current committed version and whose new_version is a
+// private clone it then mutates. An *active* previous owner is a conflict
+// handed to the contention manager; because ownership can be stolen right
+// after a remote status CAS, the protocol is obstruction-free — nobody ever
+// waits for a preempted thread unless the contention manager chooses to.
+//
+// Visible reads: a 64-bit per-object bitmap with one bit per thread slot.
+// Writers resolve against every active reader in their acquire-time
+// snapshot; combined with the "check own status before every open" rule in
+// the runtime this yields consistent views without read-set validation
+// (see DESIGN.md §5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "stm/fwd.hpp"
+#include "stm/tx.hpp"
+
+namespace wstm::stm {
+
+class Tx;
+
+/// Type-erased locator. Immutable after installation except for
+/// `dead_version`, written exactly once by the (single) replacing writer
+/// just before the locator is retired; concurrent readers never touch it.
+struct Locator {
+  TxDesc* owner;        // nullptr for the initial "stable" locator
+  void* old_version;    // committed version before `owner` (may be null)
+  void* new_version;    // owner's private clone / the committed version
+  void* dead_version;   // set by the replacer: the version that lost
+  void (*destroy)(void*);
+
+  /// EBR deleter: frees the superseded version and drops the owner ref.
+  static void reclaim(void* locator_ptr);
+};
+
+/// Non-template core of a transactional object. All protocol logic lives in
+/// the runtime (one non-template translation unit); this class only owns
+/// the locator chain head and the visible-reader bitmap.
+class TObjectBase {
+ public:
+  using CloneFn = void* (*)(const void*);
+  using DestroyFn = void (*)(void*);
+
+  /// Takes ownership of `initial_version` (heap-allocated payload).
+  TObjectBase(void* initial_version, CloneFn clone, DestroyFn destroy)
+      : loc_(new Locator{nullptr, nullptr, initial_version, nullptr, destroy}),
+        clone_(clone),
+        destroy_(destroy) {}
+
+  /// Must only run at quiescence (e.g. after EBR grace for an unlinked
+  /// node): frees the installed locator and every surviving version.
+  ~TObjectBase() {
+    Locator* l = loc_.load(std::memory_order_relaxed);
+    if (l->owner != nullptr) l->owner->release();
+    if (l->old_version != nullptr) destroy_(l->old_version);
+    if (l->new_version != nullptr) destroy_(l->new_version);
+    delete l;
+  }
+
+  TObjectBase(const TObjectBase&) = delete;
+  TObjectBase& operator=(const TObjectBase&) = delete;
+
+  /// Unsynchronized read of the current committed version. Only meaningful
+  /// at quiescence (validation in tests, sizing between benchmark phases).
+  const void* quiescent_version() const noexcept {
+    const Locator* l = loc_.load(std::memory_order_acquire);
+    if (l->owner == nullptr) return l->new_version;
+    return l->owner->status.load(std::memory_order_acquire) == TxStatus::kCommitted
+               ? l->new_version
+               : l->old_version;
+  }
+
+ private:
+  friend class Runtime;
+  friend class Tx;
+
+  std::atomic<Locator*> loc_;
+  std::atomic<std::uint64_t> readers_{0};
+  CloneFn clone_;
+  DestroyFn destroy_;
+};
+
+/// Typed transactional object. T must be copy-constructible (clone-on-write).
+template <typename T>
+class TObject : public TObjectBase {
+ public:
+  template <typename... Args>
+  explicit TObject(Args&&... args)
+      : TObjectBase(new T(std::forward<Args>(args)...), &clone_impl, &destroy_impl) {}
+
+  /// Opens for reading inside `tx`; the returned snapshot is valid for the
+  /// duration of the transaction attempt.
+  const T* open_read(Tx& tx);
+
+  /// Opens for writing inside `tx`; returns the private mutable clone that
+  /// becomes the committed version if the transaction commits.
+  T* open_write(Tx& tx);
+
+  const T* peek() const noexcept { return static_cast<const T*>(quiescent_version()); }
+
+ private:
+  static void* clone_impl(const void* p) { return new T(*static_cast<const T*>(p)); }
+  static void destroy_impl(void* p) { delete static_cast<T*>(p); }
+};
+
+}  // namespace wstm::stm

@@ -1,0 +1,12 @@
+#include "stm/tobject.hpp"
+
+namespace wstm::stm {
+
+void Locator::reclaim(void* locator_ptr) {
+  auto* l = static_cast<Locator*>(locator_ptr);
+  if (l->dead_version != nullptr) l->destroy(l->dead_version);
+  if (l->owner != nullptr) l->owner->release();
+  delete l;
+}
+
+}  // namespace wstm::stm

@@ -1,0 +1,78 @@
+// Transaction descriptors.
+//
+// A TxDesc is allocated fresh for every attempt (like DSTM's per-attempt
+// Transaction objects) and is shared state: locators point at it, and enemy
+// threads read/CAS its status and read its priority fields. It is reclaimed
+// by reference count — one reference held by the executing thread for the
+// duration of the attempt, plus one per locator that names it as owner
+// (dropped when the locator itself is reclaimed through EBR).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "stm/fwd.hpp"
+#include "util/cacheline.hpp"
+
+namespace wstm::stm {
+
+struct alignas(kCacheLine) TxDesc {
+  std::atomic<TxStatus> status{TxStatus::kActive};
+
+  /// Thread slot in [0, 64); doubles as the visible-reader bit index.
+  std::uint32_t thread_slot = 0;
+  /// Attempt number within the thread (diagnostics / tie-breaking).
+  std::uint64_t serial = 0;
+
+  /// Start of this attempt (steady-clock ns).
+  std::int64_t begin_ns = 0;
+  /// Start of the *first* attempt of this logical transaction; survives
+  /// retries. This is the timestamp Greedy and Priority arbitrate on.
+  std::int64_t first_begin_ns = 0;
+
+  // --- contention-manager scratch, readable by enemies ---
+
+  /// Karma/Polka priority: number of objects opened so far (all attempts).
+  std::atomic<std::uint32_t> karma{0};
+  /// Greedy's "waiting" flag: set while the transaction is blocked inside a
+  /// contention-manager wait; a waiting transaction may be killed by anyone.
+  std::atomic<bool> waiting{false};
+
+  /// Window pi(1): 1 = low priority (before the assigned frame), 0 = high.
+  std::atomic<std::uint32_t> prio_class{1};
+  /// Window pi(2): RandomizedRounds priority in [1, M]; redrawn on frame
+  /// start and after every abort. Lower value wins.
+  std::atomic<std::uint64_t> rand_prio{0};
+
+  /// Identity of the transaction that aborted this one, registered by
+  /// scheduler-style managers (Steal-On-Abort) before the kill; carries one
+  /// reference, released by the victim's cleanup (runtime) or its manager's
+  /// on_abort, whichever claims it first via exchange.
+  std::atomic<TxDesc*> aborted_by{nullptr};
+
+  // --- lifetime ---
+  std::atomic<std::int32_t> refs{1};
+
+  void add_ref() noexcept { refs.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drops one reference; deletes the descriptor when it was the last.
+  void release() noexcept {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  bool is_active() const noexcept {
+    return status.load(std::memory_order_acquire) == TxStatus::kActive;
+  }
+
+  /// Tries to kill this transaction. Returns true if the transaction ends
+  /// up aborted (whether we did it or it already was), false if it managed
+  /// to commit first.
+  bool try_abort() noexcept {
+    TxStatus expected = TxStatus::kActive;
+    return status.compare_exchange_strong(expected, TxStatus::kAborted,
+                                          std::memory_order_acq_rel) ||
+           expected == TxStatus::kAborted;
+  }
+};
+
+}  // namespace wstm::stm

@@ -1,0 +1,41 @@
+// Transactional chained hash table (extension): fixed power-of-two bucket
+// array, each bucket a TObject holding a small sorted key vector. Conflicts
+// are confined to a bucket, so contention falls with the table size — the
+// substrate STAMP's genome benchmark uses for segment deduplication, and a
+// fourth int-set shape (point-contention, no traversal chains) alongside
+// List / RBTree / SkipList.
+#pragma once
+
+#include <memory>
+
+#include "structs/intset.hpp"
+
+namespace wstm::structs {
+
+class HashTable final : public TxIntSet {
+ public:
+  /// `buckets` is rounded up to a power of two (default 64).
+  explicit HashTable(std::size_t buckets = 64);
+  ~HashTable() override = default;
+
+  bool insert(stm::Tx& tx, long key) override;
+  bool remove(stm::Tx& tx, long key) override;
+  bool contains(stm::Tx& tx, long key) override;
+  std::vector<long> quiescent_elements() const override;
+  std::string kind() const override { return "hashtable"; }
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+ private:
+  struct BucketData {
+    std::vector<long> keys;  // sorted, unique
+  };
+  using Bucket = stm::TObject<BucketData>;
+
+  Bucket& bucket_for(long key) noexcept;
+  static std::uint64_t mix(long key) noexcept;
+
+  std::vector<std::unique_ptr<Bucket>> buckets_;
+};
+
+}  // namespace wstm::structs

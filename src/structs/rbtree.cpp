@@ -1,0 +1,13 @@
+#include "structs/rbtree.hpp"
+
+namespace wstm::structs {
+
+template class RBMapT<long>;
+
+std::vector<long> RBTreeSet::quiescent_elements() const {
+  std::vector<long> out;
+  for (const auto& [k, v] : map_.quiescent_entries()) out.push_back(k);
+  return out;
+}
+
+}  // namespace wstm::structs

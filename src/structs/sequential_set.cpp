@@ -1,0 +1,23 @@
+// Factory for the transactional int-set benchmarks (and anchor TU for the
+// sequential reference set).
+#include "structs/sequential_set.hpp"
+
+#include <stdexcept>
+
+#include "structs/intset.hpp"
+#include "structs/hashtable.hpp"
+#include "structs/intset_list.hpp"
+#include "structs/rbtree.hpp"
+#include "structs/skiplist.hpp"
+
+namespace wstm::structs {
+
+std::unique_ptr<TxIntSet> make_intset(const std::string& kind) {
+  if (kind == "list") return std::make_unique<IntSetList>();
+  if (kind == "rbtree") return std::make_unique<RBTreeSet>();
+  if (kind == "skiplist") return std::make_unique<SkipList>();
+  if (kind == "hashtable") return std::make_unique<HashTable>();
+  throw std::invalid_argument("unknown int-set kind: " + kind);
+}
+
+}  // namespace wstm::structs

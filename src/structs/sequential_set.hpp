@@ -1,0 +1,24 @@
+// Sequential reference implementation of the int-set interface, used as the
+// oracle in the concurrent/property tests: apply the same operations to a
+// TxIntSet and a SequentialSet (under a lock or single-threaded) and the
+// observable results and final contents must agree.
+#pragma once
+
+#include <set>
+#include <vector>
+
+namespace wstm::structs {
+
+class SequentialSet {
+ public:
+  bool insert(long key) { return set_.insert(key).second; }
+  bool remove(long key) { return set_.erase(key) > 0; }
+  bool contains(long key) const { return set_.count(key) > 0; }
+  std::vector<long> elements() const { return {set_.begin(), set_.end()}; }
+  std::size_t size() const { return set_.size(); }
+
+ private:
+  std::set<long> set_;
+};
+
+}  // namespace wstm::structs

@@ -1,0 +1,18 @@
+// Thread-affinity helper. On multi-core hosts pinning benchmark threads
+// round-robin to cores reduces run-to-run variance; on single-core hosts it
+// is a no-op. Failures are ignored on purpose (containers often forbid
+// sched_setaffinity).
+#pragma once
+
+#include <cstdint>
+
+namespace wstm {
+
+/// Number of CPUs visible to this process.
+unsigned hardware_cpus() noexcept;
+
+/// Pin the calling thread to cpu `index % hardware_cpus()`.
+/// Returns true on success; false is non-fatal.
+bool pin_current_thread(unsigned index) noexcept;
+
+}  // namespace wstm

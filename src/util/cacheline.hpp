@@ -1,0 +1,35 @@
+// Cache-line alignment helpers.
+//
+// Shared mutable state that is written by different threads is padded to a
+// cache line to avoid false sharing (Per.19 / CP.203 in the C++ Core
+// Guidelines sense: measure first, but per-thread counters and per-object
+// ownership words are the canonical justified cases in an STM).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace wstm {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// value participates in struct layouts across TUs, and GCC warns that the
+// standard constant can drift with -mtune (ABI hazard). 64 is correct for
+// every x86-64 and the common AArch64 parts this library targets.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a value in its own cache line. Use for per-thread slots in shared
+/// arrays (metrics counters, transaction-descriptor pointers, epoch slots).
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace wstm

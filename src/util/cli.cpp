@@ -1,0 +1,127 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace wstm {
+
+void Cli::add_flag(const std::string& name, const std::string& help, std::string default_value) {
+  flags_[name] = Flag{help, std::move(default_value), false};
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help, std::int64_t default_value) {
+  flags_[name] = Flag{help, std::to_string(default_value), false};
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help, double default_value) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{help, os.str(), false};
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help, bool default_value) {
+  flags_[name] = Flag{help, default_value ? "true" : "false", true};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    bool negated = false;
+    auto it = flags_.find(arg);
+    if (it == flags_.end() && arg.rfind("no-", 0) == 0) {
+      it = flags_.find(arg.substr(3));
+      negated = it != flags_.end() && it->second.is_bool;
+    }
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", arg.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    Flag& flag = it->second;
+    if (flag.is_bool) {
+      if (negated) {
+        flag.value = "false";
+      } else if (has_value) {
+        flag.value = (value == "true" || value == "1") ? "true" : "false";
+      } else {
+        flag.value = "true";
+      }
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+const Cli::Flag& Cli::flag_or_throw(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::logic_error("flag not registered: " + name);
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name) const { return flag_or_throw(name).value; }
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(flag_or_throw(name).value);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(flag_or_throw(name).value);
+}
+
+bool Cli::get_bool(const std::string& name) const { return flag_or_throw(name).value == "true"; }
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(flag_or_throw(name).value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+std::vector<std::string> Cli::get_string_list(const std::string& name) const {
+  std::vector<std::string> out;
+  std::stringstream ss(flag_or_throw(name).value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.value << ")\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wstm

@@ -1,0 +1,50 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are an error (typos in experiment parameters must not
+// silently run the wrong configuration).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wstm {
+
+class Cli {
+ public:
+  /// Register flags before parse(). `help` is printed by usage().
+  void add_flag(const std::string& name, const std::string& help, std::string default_value);
+  void add_flag(const std::string& name, const std::string& help, std::int64_t default_value);
+  void add_flag(const std::string& name, const std::string& help, double default_value);
+  void add_flag(const std::string& name, const std::string& help, bool default_value);
+
+  /// Parses argv. Returns false (after printing usage) on error or --help.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. --threads=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+  /// Comma-separated string list.
+  std::vector<std::string> get_string_list(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+  };
+
+  const Flag& flag_or_throw(const std::string& name) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace wstm

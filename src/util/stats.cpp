@@ -1,0 +1,59 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wstm {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_half_width() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0) return samples.front();
+  if (p >= 100) return samples.back();
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+double mean_of(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double geomean_of(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double s : samples) log_sum += std::log(s);
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace wstm

@@ -1,0 +1,41 @@
+// Summary statistics for repeated experiment runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wstm {
+
+/// Streaming mean/variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Half-width of an approximate 95% confidence interval (1.96 * sem).
+  double ci95_half_width() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (nearest-rank on a copy; p in [0,100]).
+double percentile(std::vector<double> samples, double p);
+
+/// Arithmetic mean of a sample set; 0 for empty input.
+double mean_of(const std::vector<double>& samples);
+
+/// Geometric mean; input values must be positive. 0 for empty input.
+double geomean_of(const std::vector<double>& samples);
+
+}  // namespace wstm

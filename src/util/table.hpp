@@ -1,0 +1,35 @@
+// Aligned text tables + CSV emission for the benchmark reports.
+//
+// Every figure-reproduction binary prints one of these tables; keeping the
+// formatting in one place makes the bench outputs uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wstm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// All rows must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with padded columns, a rule under the header.
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV (values containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wstm

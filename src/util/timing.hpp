@@ -1,0 +1,36 @@
+// Monotonic time helpers. All durations in the library are nanoseconds as
+// int64 ticks from std::chrono::steady_clock; this header centralizes the
+// conversions so call sites stay readable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace wstm {
+
+using Clock = std::chrono::steady_clock;
+using Nanos = std::chrono::nanoseconds;
+
+/// Nanoseconds since an arbitrary (but fixed) epoch.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<Nanos>(Clock::now().time_since_epoch()).count();
+}
+
+inline double ns_to_ms(std::int64_t ns) noexcept { return static_cast<double>(ns) / 1e6; }
+inline double ns_to_s(std::int64_t ns) noexcept { return static_cast<double>(ns) / 1e9; }
+
+/// Scope timer accumulating elapsed nanoseconds into a sink on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::int64_t& sink) noexcept : sink_(sink), start_(now_ns()) {}
+  ~ScopedTimer() { sink_ += now_ns() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::int64_t& sink_;
+  std::int64_t start_;
+};
+
+}  // namespace wstm

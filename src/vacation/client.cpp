@@ -1,0 +1,124 @@
+#include "vacation/client.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace wstm::vacation {
+
+ClientConfig high_contention_config() {
+  ClientConfig c;
+  c.relations = 64;
+  c.query_percent = 100;
+  c.queries_per_tx = 8;
+  c.user_percent = 60;  // 20% DeleteCustomer + 20% UpdateTables
+  return c;
+}
+
+long Client::random_id(Xoshiro256& rng) const {
+  const long range =
+      std::max<long>(1, config_.relations * static_cast<long>(config_.query_percent) / 100);
+  return static_cast<long>(rng.below(static_cast<std::uint64_t>(range)));
+}
+
+void Client::populate(stm::Runtime& rt, stm::ThreadCtx& tc) {
+  Xoshiro256 rng(config_.seed);
+  for (long id = 0; id < config_.relations; ++id) {
+    const long num = 100 * (1 + static_cast<long>(rng.below(5)));
+    for (int t = 0; t < kNumReservationTypes; ++t) {
+      const long price = 50 + static_cast<long>(rng.below(5)) * 10;
+      rt.atomically(tc, [&](stm::Tx& tx) {
+        manager_->add_reservation(tx, static_cast<ReservationType>(t), id, num, price);
+      });
+    }
+    rt.atomically(tc, [&](stm::Tx& tx) { manager_->add_customer(tx, id); });
+  }
+}
+
+Client::Action Client::run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) {
+  const std::uint64_t r = rng.below(100);
+  if (r < config_.user_percent) {
+    make_reservation(rt, tc, rng);
+    return Action::kMakeReservation;
+  }
+  const std::uint64_t rest = 100 - config_.user_percent;
+  if (r < config_.user_percent + rest / 2) {
+    delete_customer(rt, tc, rng);
+    return Action::kDeleteCustomer;
+  }
+  update_tables(rt, tc, rng);
+  return Action::kUpdateTables;
+}
+
+void Client::make_reservation(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) {
+  // Draw the query plan outside the transaction (it must be identical
+  // across retries so aborted attempts redo the same logical work).
+  struct Query {
+    ReservationType type;
+    long id;
+  };
+  std::array<Query, 64> queries;
+  const std::uint32_t n = std::min<std::uint32_t>(
+      queries.size(), 1 + static_cast<std::uint32_t>(rng.below(config_.queries_per_tx)));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    queries[i] = {static_cast<ReservationType>(rng.below(3)), random_id(rng)};
+  }
+  const long customer_id = random_id(rng);
+
+  rt.atomically(tc, [&](stm::Tx& tx) {
+    std::array<long, kNumReservationTypes> best_id{-1, -1, -1};
+    std::array<long, kNumReservationTypes> best_price{-1, -1, -1};
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto t = static_cast<std::size_t>(queries[i].type);
+      const long price = manager_->query_price(tx, queries[i].type, queries[i].id);
+      if (price > best_price[t] &&
+          manager_->query_free(tx, queries[i].type, queries[i].id) > 0) {
+        best_price[t] = price;
+        best_id[t] = queries[i].id;
+      }
+    }
+    bool any = false;
+    for (int t = 0; t < kNumReservationTypes; ++t) any = any || best_id[t] >= 0;
+    if (!any) return;
+    manager_->add_customer(tx, customer_id);  // ok if already present
+    for (int t = 0; t < kNumReservationTypes; ++t) {
+      if (best_id[t] >= 0) {
+        manager_->reserve(tx, static_cast<ReservationType>(t), customer_id, best_id[t]);
+      }
+    }
+  });
+}
+
+void Client::delete_customer(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) {
+  const long customer_id = random_id(rng);
+  rt.atomically(tc, [&](stm::Tx& tx) {
+    const auto bill = manager_->query_customer_bill(tx, customer_id);
+    if (bill.has_value()) manager_->delete_customer(tx, customer_id);
+  });
+}
+
+void Client::update_tables(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) {
+  struct Update {
+    ReservationType type;
+    long id;
+    bool add;
+    long price;
+  };
+  std::array<Update, 64> updates;
+  const std::uint32_t n = std::min<std::uint32_t>(
+      updates.size(), 1 + static_cast<std::uint32_t>(rng.below(config_.queries_per_tx)));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    updates[i] = {static_cast<ReservationType>(rng.below(3)), random_id(rng),
+                  rng.below(2) == 0, 50 + static_cast<long>(rng.below(5)) * 10};
+  }
+  rt.atomically(tc, [&](stm::Tx& tx) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (updates[i].add) {
+        manager_->add_reservation(tx, updates[i].type, updates[i].id, 100, updates[i].price);
+      } else {
+        manager_->add_reservation(tx, updates[i].type, updates[i].id, -100, -1);
+      }
+    }
+  });
+}
+
+}  // namespace wstm::vacation

@@ -1,0 +1,63 @@
+// Vacation client: generates and executes the benchmark's transaction mix
+// (after STAMP's client.c):
+//
+//   MakeReservation — query `queries_per_tx` random rows across the three
+//     tables, remember the highest-priced row with free capacity per type,
+//     then create the customer if needed and book those rows;
+//   DeleteCustomer  — compute a random customer's bill and remove them,
+//     releasing their bookings;
+//   UpdateTables    — add or retire capacity on random rows.
+//
+// The paper's "high contention" configuration means many queries per
+// transaction over a small id range with a high update share.
+#pragma once
+
+#include <cstdint>
+
+#include "stm/runtime.hpp"
+#include "util/rng.hpp"
+#include "vacation/manager.hpp"
+
+namespace wstm::vacation {
+
+struct ClientConfig {
+  long relations = 128;          // rows per table (and customer-id range)
+  std::uint32_t query_percent = 60;   // share of the id range a tx may touch
+  std::uint32_t queries_per_tx = 4;   // queries per MakeReservation / UpdateTables
+  std::uint32_t user_percent = 80;    // share of MakeReservation actions; the
+                                      // remainder splits evenly between
+                                      // DeleteCustomer and UpdateTables
+  std::uint64_t seed = 1;
+};
+
+/// The paper's high-contention setup: few rows, whole range queried, many
+/// modifications per transaction.
+ClientConfig high_contention_config();
+
+class Client {
+ public:
+  Client(Manager& manager, ClientConfig config) : manager_(&manager), config_(config) {}
+
+  /// Populates the tables and customers (run once, single-threaded,
+  /// inside the given runtime).
+  void populate(stm::Runtime& rt, stm::ThreadCtx& tc);
+
+  enum class Action { kMakeReservation, kDeleteCustomer, kUpdateTables };
+
+  /// Picks an action from the mix and runs it as one transaction.
+  Action run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng);
+
+  const ClientConfig& config() const noexcept { return config_; }
+
+ private:
+  long random_id(Xoshiro256& rng) const;
+
+  void make_reservation(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng);
+  void delete_customer(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng);
+  void update_tables(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng);
+
+  Manager* manager_;
+  ClientConfig config_;
+};
+
+}  // namespace wstm::vacation

@@ -1,0 +1,7 @@
+// Explicit instantiation of the customer-table map (value = CustomerData).
+#include "structs/rbtree.hpp"
+#include "vacation/types.hpp"
+
+namespace wstm::structs {
+template class RBMapT<vacation::CustomerData>;
+}  // namespace wstm::structs

@@ -1,0 +1,125 @@
+#include "vacation/manager.hpp"
+
+#include <array>
+#include <map>
+
+namespace wstm::vacation {
+
+bool Manager::add_reservation(stm::Tx& tx, ReservationType type, long id, long num,
+                              long price) {
+  Table& t = table(type);
+  Reservation* row = t.get_for_update(tx, id);
+  if (row == nullptr) {
+    if (num <= 0 || price < 0) return false;
+    Reservation fresh;
+    fresh.num_free = fresh.num_total = num;
+    fresh.price = price;
+    return t.insert(tx, id, fresh);
+  }
+  if (!row->add_capacity(num)) return false;
+  if (price >= 0) row->price = price;
+  if (row->num_total == 0) return t.erase(tx, id);
+  return true;
+}
+
+bool Manager::add_customer(stm::Tx& tx, long customer_id) {
+  return customers_.insert(tx, customer_id, CustomerData{});
+}
+
+std::optional<long> Manager::delete_customer(stm::Tx& tx, long customer_id) {
+  std::optional<CustomerData> customer = customers_.get(tx, customer_id);
+  if (!customer.has_value()) return std::nullopt;
+  long bill = 0;
+  for (const ReservationInfo& info : customer->reservations) {
+    bill += info.price;
+    Reservation* row = table(info.type).get_for_update(tx, info.id);
+    // The row must exist while bookings reference it: add_reservation can
+    // never retire used capacity.
+    if (row != nullptr) row->cancel();
+  }
+  customers_.erase(tx, customer_id);
+  return bill;
+}
+
+long Manager::query_free(stm::Tx& tx, ReservationType type, long id) {
+  std::optional<Reservation> row = table(type).get(tx, id);
+  return row.has_value() ? row->num_free : -1;
+}
+
+long Manager::query_price(stm::Tx& tx, ReservationType type, long id) {
+  std::optional<Reservation> row = table(type).get(tx, id);
+  return row.has_value() ? row->price : -1;
+}
+
+std::optional<long> Manager::query_customer_bill(stm::Tx& tx, long customer_id) {
+  std::optional<CustomerData> customer = customers_.get(tx, customer_id);
+  if (!customer.has_value()) return std::nullopt;
+  return customer->total_bill();
+}
+
+bool Manager::reserve(stm::Tx& tx, ReservationType type, long customer_id, long id) {
+  CustomerData* customer = customers_.get_for_update(tx, customer_id);
+  if (customer == nullptr) return false;
+  Reservation* row = table(type).get_for_update(tx, id);
+  if (row == nullptr || !row->make()) return false;
+  customer->reservations.push_back(ReservationInfo{type, id, row->price});
+  return true;
+}
+
+bool Manager::cancel(stm::Tx& tx, ReservationType type, long customer_id, long id) {
+  CustomerData* customer = customers_.get_for_update(tx, customer_id);
+  if (customer == nullptr) return false;
+  auto& list = customer->reservations;
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->type == type && it->id == id) {
+      Reservation* row = table(type).get_for_update(tx, id);
+      if (row == nullptr || !row->cancel()) return false;
+      list.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Manager::quiescent_consistent(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+
+  // Bookings held by customers, per (type, id).
+  std::map<std::pair<int, long>, long> booked;
+  for (const auto& [cid, customer] : customers_.quiescent_entries()) {
+    for (const ReservationInfo& info : customer.reservations) {
+      booked[{static_cast<int>(info.type), info.id}]++;
+    }
+  }
+
+  for (int t = 0; t < kNumReservationTypes; ++t) {
+    const auto type = static_cast<ReservationType>(t);
+    std::string inv_why;
+    if (!table(type).quiescent_invariants_ok(&inv_why)) {
+      return fail("table " + std::to_string(t) + ": " + inv_why);
+    }
+    for (const auto& [id, row] : table(type).quiescent_entries()) {
+      if (!row.invariant_ok()) {
+        return fail("row invariant broken: type " + std::to_string(t) + " id " +
+                    std::to_string(id));
+      }
+      const auto it = booked.find({t, id});
+      const long held = it != booked.end() ? it->second : 0;
+      if (row.num_used != held) {
+        return fail("used/bookings mismatch: type " + std::to_string(t) + " id " +
+                    std::to_string(id) + " used=" + std::to_string(row.num_used) +
+                    " held=" + std::to_string(held));
+      }
+      if (it != booked.end()) booked.erase(it);
+    }
+  }
+  if (!booked.empty()) return fail("customer holds a booking for a missing row");
+  std::string cust_why;
+  if (!customers_.quiescent_invariants_ok(&cust_why)) return fail("customers: " + cust_why);
+  return true;
+}
+
+}  // namespace wstm::vacation

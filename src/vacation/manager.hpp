@@ -1,0 +1,68 @@
+// The Vacation database manager: three reservation tables plus a customer
+// table, all transactional red-black maps. Mirrors STAMP's manager.c —
+// every method runs inside a caller transaction so a client action can
+// compose several queries and reservations atomically.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "structs/rbtree.hpp"
+#include "vacation/types.hpp"
+
+namespace wstm::structs {
+extern template class RBMapT<vacation::Reservation>;
+extern template class RBMapT<vacation::CustomerData>;
+}  // namespace wstm::structs
+
+namespace wstm::vacation {
+
+class Manager {
+ public:
+  using Table = structs::RBMapT<Reservation>;
+  using CustomerTable = structs::RBMapT<CustomerData>;
+
+  /// Adds (num > 0) or retires (num < 0) capacity of row `id`; creates the
+  /// row on first add, removes it when its total drops to zero. A price
+  /// >= 0 also reprices the row. Returns false when the request is
+  /// unsatisfiable (absent row, seats in use, bad arguments).
+  bool add_reservation(stm::Tx& tx, ReservationType type, long id, long num, long price);
+
+  bool add_customer(stm::Tx& tx, long customer_id);
+
+  /// Cancels all of the customer's bookings and removes the customer.
+  /// Returns the released bill, or nullopt if the customer is unknown.
+  std::optional<long> delete_customer(stm::Tx& tx, long customer_id);
+
+  /// -1 when the row does not exist (STAMP convention).
+  long query_free(stm::Tx& tx, ReservationType type, long id);
+  long query_price(stm::Tx& tx, ReservationType type, long id);
+  /// Total bill of a customer, or nullopt if unknown.
+  std::optional<long> query_customer_bill(stm::Tx& tx, long customer_id);
+
+  /// Books one unit of row `id` for the customer; false when the customer
+  /// or row is unknown or the row is sold out.
+  bool reserve(stm::Tx& tx, ReservationType type, long customer_id, long id);
+
+  /// Releases one booking (the inverse of reserve).
+  bool cancel(stm::Tx& tx, ReservationType type, long customer_id, long id);
+
+  /// Quiescent consistency check: every table row satisfies the Reservation
+  /// invariant and the sum of customer bookings per row equals its
+  /// num_used. On failure stores a diagnostic in `why`.
+  bool quiescent_consistent(std::string* why = nullptr) const;
+
+  Table& table(ReservationType type) noexcept {
+    return tables_[static_cast<std::size_t>(type)];
+  }
+  const Table& table(ReservationType type) const noexcept {
+    return tables_[static_cast<std::size_t>(type)];
+  }
+  CustomerTable& customers() noexcept { return customers_; }
+
+ private:
+  Table tables_[kNumReservationTypes];
+  CustomerTable customers_;
+};
+
+}  // namespace wstm::vacation

@@ -1,0 +1,8 @@
+// Explicit instantiation of the reservation-table map, so every TU using
+// the Manager shares one copy of the tree code for this value type.
+#include "structs/rbtree.hpp"
+#include "vacation/types.hpp"
+
+namespace wstm::structs {
+template class RBMapT<vacation::Reservation>;
+}  // namespace wstm::structs

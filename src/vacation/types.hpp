@@ -1,0 +1,73 @@
+// Core data types of the Vacation benchmark: a travel-booking database with
+// car/flight/room reservation tables and a customer table (after STAMP's
+// vacation application, Cao Minh et al., IISWC'08).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wstm::vacation {
+
+enum class ReservationType : std::uint8_t { kCar = 0, kFlight = 1, kRoom = 2 };
+inline constexpr int kNumReservationTypes = 3;
+
+/// One row of a reservation table. Invariant: used + free == total,
+/// all non-negative.
+struct Reservation {
+  long num_used = 0;
+  long num_free = 0;
+  long num_total = 0;
+  long price = 0;
+
+  bool invariant_ok() const noexcept {
+    return num_used >= 0 && num_free >= 0 && num_total == num_used + num_free && price >= 0;
+  }
+
+  /// Adds (num > 0) or retires (num < 0) capacity. Fails — returning false,
+  /// leaving the row unchanged — if it would retire seats that are in use.
+  bool add_capacity(long num) noexcept {
+    if (num_free + num < 0) return false;
+    num_free += num;
+    num_total += num;
+    return true;
+  }
+
+  /// Books one unit; false when sold out.
+  bool make() noexcept {
+    if (num_free <= 0) return false;
+    --num_free;
+    ++num_used;
+    return true;
+  }
+
+  /// Releases one booked unit; false when none are in use.
+  bool cancel() noexcept {
+    if (num_used <= 0) return false;
+    ++num_free;
+    --num_used;
+    return true;
+  }
+};
+
+/// A booking held by a customer.
+struct ReservationInfo {
+  ReservationType type = ReservationType::kCar;
+  long id = 0;
+  long price = 0;
+
+  friend bool operator==(const ReservationInfo&, const ReservationInfo&) = default;
+};
+
+/// A customer row: the list of bookings. Copied on clone-on-write — the
+/// list stays short (one entry per booked type per transaction).
+struct CustomerData {
+  std::vector<ReservationInfo> reservations;
+
+  long total_bill() const noexcept {
+    long sum = 0;
+    for (const auto& r : reservations) sum += r.price;
+    return sum;
+  }
+};
+
+}  // namespace wstm::vacation

@@ -1,0 +1,3 @@
+// CiEstimator is header-only; this TU exists so the module shows up as its
+// own object file and to host any future out-of-line additions.
+#include "window/ci_estimator.hpp"

@@ -1,0 +1,42 @@
+// Contention-intensity estimator, after Adaptive Transaction Scheduling
+// (Yoo & Lee, SPAA'08), used by the Adaptive-Improved window variants.
+//
+// CI is an exponentially weighted fraction of attempts that encountered a
+// conflict: CI ← α·CI + (1−α)·[conflicted]. The window algorithms need a
+// contention *count* C_i (how many transactions one of ours may conflict
+// with inside the window), so we interpolate between the extremes:
+// C'_i = 1 + CI · (M−1) · N — no conflicts maps to C=1, conflicting with
+// every other transaction in the window maps to C=(M−1)·N.
+#pragma once
+
+#include <cstdint>
+
+namespace wstm::window {
+
+class CiEstimator {
+ public:
+  CiEstimator() noexcept = default;
+  explicit CiEstimator(double alpha) noexcept : alpha_(alpha) {}
+
+  void set_alpha(double alpha) noexcept { alpha_ = alpha; }
+
+  void on_attempt_end(bool conflicted) noexcept {
+    ci_ = alpha_ * ci_ + (1.0 - alpha_) * (conflicted ? 1.0 : 0.0);
+  }
+
+  double value() const noexcept { return ci_; }
+
+  /// Contention estimate for an M-thread, N-transaction window.
+  double contention_estimate(std::uint32_t m, std::uint32_t n) const noexcept {
+    const double peers = m > 1 ? static_cast<double>(m - 1) : 0.0;
+    return 1.0 + ci_ * peers * static_cast<double>(n);
+  }
+
+  void reset() noexcept { ci_ = 0.0; }
+
+ private:
+  double alpha_ = 0.75;
+  double ci_ = 0.0;
+};
+
+}  // namespace wstm::window

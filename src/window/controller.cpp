@@ -1,0 +1,50 @@
+#include "window/controller.hpp"
+
+#include <cassert>
+
+namespace wstm::window {
+
+WindowController::WindowController(std::size_t capacity) : pending_(capacity) {}
+
+void WindowController::register_tx(std::uint64_t frame, std::int64_t now_ns) {
+  assert(frame >= current_frame() || pending(frame) >= 0);
+  assert(frame < current_frame() + pending_.size());
+  slot(frame).fetch_add(1, std::memory_order_acq_rel);
+  total_pending_.fetch_add(1, std::memory_order_acq_rel);
+  // Track the furthest frame anybody waits for, so contraction knows when
+  // skipping empty frames is useful.
+  std::uint64_t seen = max_registered_.load(std::memory_order_relaxed);
+  while (seen < frame &&
+         !max_registered_.compare_exchange_weak(seen, frame, std::memory_order_acq_rel)) {
+  }
+  maybe_advance(now_ns);
+}
+
+void WindowController::complete_tx(std::uint64_t frame, std::int64_t now_ns) {
+  slot(frame).fetch_sub(1, std::memory_order_acq_rel);
+  total_pending_.fetch_sub(1, std::memory_order_acq_rel);
+  maybe_advance(now_ns);
+}
+
+void WindowController::maybe_advance(std::int64_t now_ns) {
+  for (;;) {
+    const std::uint64_t cur = current_.load(std::memory_order_acquire);
+    if (slot(cur).load(std::memory_order_acquire) != 0) return;  // frame still busy
+    const bool someone_waits = max_registered_.load(std::memory_order_acquire) > cur &&
+                               total_pending_.load(std::memory_order_acquire) > 0;
+    if (!someone_waits) return;
+    std::uint64_t expected = cur;
+    if (current_.compare_exchange_strong(expected, cur + 1, std::memory_order_acq_rel)) {
+      frame_start_ns_.store(now_ns, std::memory_order_release);
+      advances_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Loop: several consecutive frames may be empty (contraction skips
+    // them all at once).
+  }
+}
+
+std::int64_t WindowController::pending(std::uint64_t frame) const noexcept {
+  return slot(frame).load(std::memory_order_acquire);
+}
+
+}  // namespace wstm::window

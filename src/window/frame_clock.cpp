@@ -1,0 +1,37 @@
+#include "window/frame_clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wstm::window {
+
+void FrameClock::start(std::int64_t now_ns, std::int64_t frame_len_ns) noexcept {
+  start_ns_ = now_ns;
+  frame_len_ns_ = frame_len_ns > 0 ? frame_len_ns : 1;
+}
+
+std::uint64_t FrameClock::frame_at(std::int64_t now_ns) const noexcept {
+  if (now_ns <= start_ns_) return 0;
+  return static_cast<std::uint64_t>((now_ns - start_ns_) / frame_len_ns_);
+}
+
+std::int64_t FrameClock::frame_begin_ns(std::uint64_t frame) const noexcept {
+  return start_ns_ + static_cast<std::int64_t>(frame) * frame_len_ns_;
+}
+
+std::int64_t frame_length_ns(std::uint32_t m, std::uint32_t n, double factor, double exponent,
+                             std::int64_t tau_ns) {
+  const double mn = std::max(2.0, static_cast<double>(m) * static_cast<double>(n));
+  const double log_term = std::pow(std::log(mn), exponent);
+  const double len = factor * log_term * static_cast<double>(tau_ns);
+  return std::max<std::int64_t>(1000, static_cast<std::int64_t>(len));
+}
+
+std::uint64_t delay_range_alpha(double c_est, std::uint32_t m, std::uint32_t n) {
+  const double mn = std::max(2.0, static_cast<double>(m) * static_cast<double>(n));
+  const double alpha = c_est / std::log(mn);
+  const double clamped = std::clamp(alpha, 1.0, static_cast<double>(n));
+  return static_cast<std::uint64_t>(clamped);
+}
+
+}  // namespace wstm::window

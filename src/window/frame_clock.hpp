@@ -1,0 +1,42 @@
+// Static (time-based) frame clock, per thread.
+//
+// The theory (paper Section II) divides time into frames of Θ(ln MN) or
+// Θ(ln² MN) *steps*, each step being one transaction duration τ. A real STM
+// has no global step counter, so — as a DSTM2 implementation must — we
+// realize a frame as a wall-clock interval Φ = φ · ln(MN)^e · τ_est, where
+// τ_est is an online estimate of the transaction duration and φ, e are
+// tunables (see bench/ablation_frames).
+#pragma once
+
+#include <cstdint>
+
+namespace wstm::window {
+
+class FrameClock {
+ public:
+  /// Starts counting frames of length `frame_len_ns` from `now_ns`.
+  void start(std::int64_t now_ns, std::int64_t frame_len_ns) noexcept;
+
+  /// Frame index at time `now_ns` (0 before/at start).
+  std::uint64_t frame_at(std::int64_t now_ns) const noexcept;
+
+  /// Time at which `frame` begins.
+  std::int64_t frame_begin_ns(std::uint64_t frame) const noexcept;
+
+  std::int64_t frame_len_ns() const noexcept { return frame_len_ns_; }
+  std::int64_t start_ns() const noexcept { return start_ns_; }
+
+ private:
+  std::int64_t start_ns_ = 0;
+  std::int64_t frame_len_ns_ = 1;
+};
+
+/// Frame length Φ = factor · ln(MN)^exponent · tau, floored at 1us so a
+/// mis-estimated tau cannot collapse frames to nothing.
+std::int64_t frame_length_ns(std::uint32_t m, std::uint32_t n, double factor, double exponent,
+                             std::int64_t tau_ns);
+
+/// α_i = C_i / ln(MN), clamped to [1, N] (the paper caps α at N).
+std::uint64_t delay_range_alpha(double c_est, std::uint32_t m, std::uint32_t n);
+
+}  // namespace wstm::window

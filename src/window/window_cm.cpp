@@ -1,0 +1,210 @@
+#include "window/window_cm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "stm/runtime.hpp"
+#include "util/timing.hpp"
+
+namespace wstm::window {
+
+WindowCM::WindowCM(std::string name, WindowOptions options)
+    : name_(std::move(name)), options_(options), tau_ns_(options.tau_init_ns) {
+  if (options_.threads == 0 || options_.threads > 64) {
+    throw std::invalid_argument("WindowCM: threads must be in [1, 64]");
+  }
+  if (options_.window_n == 0) throw std::invalid_argument("WindowCM: window_n must be > 0");
+  if (options_.initial_c == 0.0) {
+    options_.initial_c =
+        options_.adapt == WindowOptions::Adapt::kNone ? options_.threads : 1.0;
+  }
+}
+
+void WindowCM::start_window(stm::ThreadCtx& self, PerThread& st) {
+  if (st.windows_started == 0) {
+    st.c_est = options_.initial_c;
+    st.ci.set_alpha(options_.ci_alpha);
+  }
+  st.n = st.pending_n != 0 ? st.pending_n : options_.window_n;
+  st.pending_n = 0;
+  st.j = 0;
+  st.in_window = true;
+  st.windows_started++;
+
+  const std::int64_t now = now_ns();
+  const std::int64_t tau = tau_ns_.load(std::memory_order_relaxed);
+  const std::int64_t phi = frame_length_ns(options_.threads, st.n, options_.frame_factor,
+                                           options_.frame_log_exponent, tau);
+  const std::uint64_t alpha = delay_range_alpha(st.c_est, options_.threads, st.n);
+  st.q = self.rng().below(alpha);
+  if (options_.dynamic_frames) {
+    st.base_frame = controller_.current_frame();
+  } else {
+    st.clock.start(now, phi);
+    st.base_frame = 0;
+  }
+}
+
+std::uint64_t WindowCM::frame_now(const PerThread& st) const {
+  return options_.dynamic_frames ? controller_.current_frame() : st.clock.frame_at(now_ns());
+}
+
+void WindowCM::refresh_priority(stm::ThreadCtx& self, PerThread& st, stm::TxDesc& tx) {
+  if (st.high) return;
+  if (frame_now(st) >= st.assigned_frame) {
+    st.high = true;
+    // π2 is (re)drawn "on start of the frame F_ij" (paper Section II-B2).
+    tx.rand_prio.store(1 + self.rng().below(options_.threads), std::memory_order_release);
+    tx.prio_class.store(0, std::memory_order_release);
+  }
+}
+
+void WindowCM::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
+  PerThread& st = *state_[self.slot()];
+  const std::int64_t now = now_ns();
+
+  if (!is_retry) {
+    if (!st.in_window || st.j >= st.n) start_window(self, st);
+    st.assigned_frame = st.base_frame + st.q + st.j;
+    if (options_.dynamic_frames) {
+      controller_.register_tx(st.assigned_frame, now);
+      st.registered = true;
+    }
+  }
+  st.conflicted_this_attempt = false;
+  st.high = false;
+
+  // Every attempt redraws π2 ("... and after every abort").
+  tx.rand_prio.store(1 + self.rng().below(options_.threads), std::memory_order_release);
+  tx.prio_class.store(1, std::memory_order_release);
+  refresh_priority(self, st, tx);
+
+  if (options_.dynamic_frames) controller_.maybe_advance(now);
+}
+
+stm::Resolution WindowCM::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                  stm::ConflictKind kind) {
+  (void)kind;
+  PerThread& st = *state_[self.slot()];
+  st.conflicted_this_attempt = true;
+  if (options_.dynamic_frames) controller_.maybe_advance(now_ns());
+  refresh_priority(self, st, tx);
+
+  // Lexicographic comparison of the priority vectors (π1, π2), ties broken
+  // by slot. Lower compares smaller = higher priority = wins.
+  const std::uint64_t my_pc = tx.prio_class.load(std::memory_order_acquire);
+  const std::uint64_t en_pc = enemy.prio_class.load(std::memory_order_acquire);
+  if (my_pc != en_pc) {
+    return my_pc < en_pc ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+  }
+  const std::uint64_t my_p2 = tx.rand_prio.load(std::memory_order_acquire);
+  const std::uint64_t en_p2 = enemy.rand_prio.load(std::memory_order_acquire);
+  if (my_p2 != en_p2) {
+    return my_p2 < en_p2 ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+  }
+  return tx.thread_slot < enemy.thread_slot ? stm::Resolution::kAbortEnemy
+                                            : stm::Resolution::kAbortSelf;
+}
+
+void WindowCM::on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  PerThread& st = *state_[self.slot()];
+  const std::int64_t now = now_ns();
+  note_tau_sample(now - tx.begin_ns);
+  st.ci.on_attempt_end(st.conflicted_this_attempt);
+
+  const std::uint64_t commit_frame = frame_now(st);
+  if (options_.dynamic_frames && st.registered) {
+    controller_.complete_tx(st.assigned_frame, now);
+    st.registered = false;
+  }
+
+  const bool bad_event = commit_frame > st.assigned_frame;
+  st.j++;
+  if (bad_event) {
+    st.bad_events++;
+    switch (options_.adapt) {
+      case WindowOptions::Adapt::kNone:
+        break;  // Online trusts its configured C_i
+      case WindowOptions::Adapt::kDoubling:
+        st.c_est = std::min(st.c_est * 2.0,
+                            static_cast<double>(options_.threads) * st.n);
+        break;
+      case WindowOptions::Adapt::kContentionIntensity:
+        st.c_est = st.ci.contention_estimate(options_.threads, st.n);
+        break;
+    }
+    if (options_.adapt != WindowOptions::Adapt::kNone && st.j < st.n) {
+      // "start over again with the remaining transactions" — the next
+      // on_begin opens a fresh window of the leftover length with a delay
+      // drawn from the updated C_i.
+      st.pending_n = st.n - st.j;
+      st.in_window = false;
+    }
+  }
+  if (st.j >= st.n) st.in_window = false;
+}
+
+void WindowCM::on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) {
+  PerThread& st = *state_[self.slot()];
+  st.ci.on_attempt_end(true);
+  // A low-priority loser will conflict with the same high-priority winner
+  // again immediately; yield once so the winner can use the core. This is
+  // a single-scheduler-quantum courtesy, not a backoff policy.
+  if (tx.prio_class.load(std::memory_order_acquire) == 1) std::this_thread::yield();
+}
+
+void WindowCM::on_window_start(stm::ThreadCtx& self, std::uint32_t n_transactions) {
+  PerThread& st = *state_[self.slot()];
+  st.pending_n = n_transactions;
+  st.in_window = false;  // next on_begin starts the window
+}
+
+void WindowCM::note_tau_sample(std::int64_t sample_ns) {
+  // EWMA with racy read-modify-write: lost updates only slow the estimate's
+  // convergence, which is acceptable for a frame-length heuristic.
+  const std::int64_t cur = tau_ns_.load(std::memory_order_relaxed);
+  const std::int64_t next = cur - cur / 8 + sample_ns / 8;
+  tau_ns_.store(next > 0 ? next : 1, std::memory_order_relaxed);
+}
+
+WindowCM::ThreadSnapshot WindowCM::snapshot(unsigned slot) const {
+  const PerThread& st = *state_[slot];
+  ThreadSnapshot s;
+  s.window_n = st.n;
+  s.next_index = st.j;
+  s.delay_q = st.q;
+  s.c_est = st.c_est;
+  s.ci = st.ci.value();
+  s.windows_started = st.windows_started;
+  s.bad_events = st.bad_events;
+  return s;
+}
+
+cm::ManagerPtr make_window_manager(const std::string& name, WindowOptions options) {
+  using Adapt = WindowOptions::Adapt;
+  if (name == "Online") {
+    options.dynamic_frames = false;
+    options.adapt = Adapt::kNone;
+  } else if (name == "Online-Dynamic") {
+    options.dynamic_frames = true;
+    options.adapt = Adapt::kNone;
+  } else if (name == "Adaptive") {
+    options.dynamic_frames = false;
+    options.adapt = Adapt::kDoubling;
+  } else if (name == "Adaptive-Dynamic") {
+    options.dynamic_frames = true;
+    options.adapt = Adapt::kDoubling;
+  } else if (name == "Adaptive-Improved") {
+    options.dynamic_frames = false;
+    options.adapt = Adapt::kContentionIntensity;
+  } else if (name == "Adaptive-Improved-Dynamic") {
+    options.dynamic_frames = true;
+    options.adapt = Adapt::kContentionIntensity;
+  } else {
+    throw std::invalid_argument("unknown window manager: " + name);
+  }
+  return std::make_unique<WindowCM>(name, options);
+}
+
+}  // namespace wstm::window

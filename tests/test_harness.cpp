@@ -1,0 +1,120 @@
+// Harness tests: workload construction and validation, the timed and
+// fixed-commit runners, and repetition averaging.
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+
+namespace wstm::harness {
+namespace {
+
+TEST(Workloads, FactoryBuildsEveryBenchmark) {
+  for (const char* name : {"list", "rbtree", "skiplist", "vacation"}) {
+    auto w = make_workload(name);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), name);
+  }
+  EXPECT_THROW(make_workload("queue"), std::invalid_argument);
+}
+
+TEST(Workloads, IntSetPopulatesHalfTheRange) {
+  IntSetConfig cfg;
+  cfg.kind = "list";
+  cfg.key_range = 64;
+  IntSetWorkload w(cfg);
+  cm::Params params;
+  params.threads = 1;
+  stm::Runtime rt(cm::make_manager("Polka", params));
+  stm::ThreadCtx& tc = rt.attach_thread();
+  w.populate(rt, tc);
+  EXPECT_EQ(w.set().quiescent_elements().size(), 32u);
+  std::string why;
+  EXPECT_TRUE(w.validate(&why)) << why;
+}
+
+TEST(Workloads, ValidationCatchesSizeDrift) {
+  IntSetConfig cfg;
+  cfg.kind = "list";
+  cfg.key_range = 16;
+  IntSetWorkload w(cfg);
+  cm::Params params;
+  params.threads = 1;
+  stm::Runtime rt(cm::make_manager("Polka", params));
+  stm::ThreadCtx& tc = rt.attach_thread();
+  w.populate(rt, tc);
+  // Run one op the workload doesn't know about: the book-keeping no longer
+  // matches the structure, and validate must notice.
+  auto* set = const_cast<structs::TxIntSet*>(&w.set());
+  rt.atomically(tc, [&](stm::Tx& tx) { set->insert(tx, 1); });
+  std::string why;
+  EXPECT_FALSE(w.validate(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(Runner, TimedRunProducesCommitsAndValidates) {
+  auto w = make_workload("list", 100, 64);
+  RunConfig cfg;
+  cfg.threads = 2;
+  cfg.duration_ms = 120;
+  const RunResult r = run_workload("Polka", cm::Params{}, *w, cfg);
+  EXPECT_TRUE(r.valid) << r.why;
+  EXPECT_GT(r.totals.commits, 0u);
+  EXPECT_GT(r.summary.throughput_per_s, 0.0);
+  EXPECT_GE(r.elapsed_ns, 100 * 1'000'000);
+}
+
+TEST(Runner, FixedCommitRunStopsAtTarget) {
+  auto w = make_workload("rbtree", 100, 64);
+  RunConfig cfg;
+  cfg.threads = 2;
+  cfg.fixed_commits = 500;
+  const RunResult r = run_workload("Greedy", cm::Params{}, *w, cfg);
+  EXPECT_TRUE(r.valid) << r.why;
+  EXPECT_GE(r.totals.commits, 500u);
+  // Threads stop promptly: no more than target + threads extra.
+  EXPECT_LE(r.totals.commits, 500u + cfg.threads);
+}
+
+TEST(Runner, WindowManagersRunThroughTheHarness) {
+  auto w = make_workload("skiplist", 100, 64);
+  RunConfig cfg;
+  cfg.threads = 2;
+  cfg.duration_ms = 100;
+  const RunResult r = run_workload("Adaptive-Improved-Dynamic", cm::Params{}, *w, cfg);
+  EXPECT_TRUE(r.valid) << r.why;
+  EXPECT_GT(r.totals.commits, 0u);
+}
+
+TEST(Runner, RepeatedRunsAggregate) {
+  RunConfig cfg;
+  cfg.threads = 2;
+  cfg.duration_ms = 60;
+  const RepeatedResult r = run_repeated(
+      "Polka", cm::Params{}, [] { return make_workload("list", 100, 64); }, cfg, 2);
+  EXPECT_TRUE(r.valid) << r.why;
+  EXPECT_GT(r.mean_throughput, 0.0);
+}
+
+TEST(Report, MetricNamesAreDistinct) {
+  EXPECT_NE(metric_name(Metric::kThroughput), metric_name(Metric::kAbortsPerCommit));
+  EXPECT_NE(metric_name(Metric::kElapsedMs), metric_name(Metric::kWastedFraction));
+}
+
+TEST(Report, CliRoundTripBuildsSpec) {
+  Cli cli;
+  register_matrix_flags(cli, "list", "Polka,Greedy", "1,2", 100, 1);
+  const char* argv[] = {"prog", "--threads=1", "--ms=50", "--update-percent=60",
+                        "--csv"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  const MatrixSpec spec = matrix_from_cli(cli);
+  EXPECT_EQ(spec.benchmarks, (std::vector<std::string>{"list"}));
+  EXPECT_EQ(spec.cms, (std::vector<std::string>{"Polka", "Greedy"}));
+  EXPECT_EQ(spec.thread_counts, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(spec.base.duration_ms, 50);
+  EXPECT_EQ(spec.update_percent, 60u);
+  EXPECT_TRUE(spec.csv);
+}
+
+}  // namespace
+}  // namespace wstm::harness

@@ -1,0 +1,166 @@
+// Invisible-read mode tests: DSTM-style read-set validation instead of
+// visible reader bitmaps (DSTM2's other read mode; the paper used visible).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cm/registry.hpp"
+#include "stm/runtime.hpp"
+#include "structs/intset.hpp"
+#include "structs/sequential_set.hpp"
+#include "util/rng.hpp"
+
+namespace wstm::stm {
+namespace {
+
+std::unique_ptr<Runtime> make_invisible_runtime(const std::string& cm = "Polka",
+                                                unsigned threads = 4,
+                                                std::uint32_t preempt = 0) {
+  cm::Params params;
+  params.threads = threads;
+  RuntimeConfig cfg;
+  cfg.visible_reads = false;
+  cfg.preempt_yield_permille = preempt;
+  return std::make_unique<Runtime>(cm::make_manager(cm, params), cfg);
+}
+
+TEST(InvisibleReads, BasicReadWriteCommit) {
+  auto rt = make_invisible_runtime();
+  ThreadCtx& tc = rt->attach_thread();
+  TObject<long> obj(10);
+  const long v = rt->atomically(tc, [&](Tx& tx) { return *obj.open_read(tx); });
+  EXPECT_EQ(v, 10);
+  rt->atomically(tc, [&](Tx& tx) { *obj.open_write(tx) = 20; });
+  EXPECT_EQ(*obj.peek(), 20);
+}
+
+TEST(InvisibleReads, UpgradeKeepsReadValid) {
+  auto rt = make_invisible_runtime();
+  ThreadCtx& tc = rt->attach_thread();
+  TObject<long> obj(1);
+  rt->atomically(tc, [&](Tx& tx) {
+    EXPECT_EQ(*obj.open_read(tx), 1);
+    *obj.open_write(tx) = 2;  // acquire after reading: must not self-abort
+    EXPECT_EQ(*obj.open_read(tx), 2);
+  });
+  EXPECT_EQ(*obj.peek(), 2);
+  EXPECT_EQ(rt->total_metrics().aborts, 0u);
+}
+
+TEST(InvisibleReads, StaleReadIsDetectedAtNextOpen) {
+  auto rt = make_invisible_runtime("Aggressive", 2);
+  TObject<long> x(0);
+  TObject<long> y(0);
+
+  std::atomic<bool> reader_read_x{false};
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> reader_attempts{0};
+
+  std::thread reader([&] {
+    ThreadCtx& tc = rt->attach_thread();
+    const auto pair = rt->atomically(tc, [&](Tx& tx) {
+      const int attempt = reader_attempts.fetch_add(1, std::memory_order_acq_rel);
+      const long a = *x.open_read(tx);
+      if (attempt == 0) {
+        reader_read_x.store(true, std::memory_order_release);
+        while (!writer_done.load(std::memory_order_acquire)) std::this_thread::yield();
+      }
+      const long b = *y.open_read(tx);  // validation must kill attempt 0 here
+      return std::pair<long, long>(a, b);
+    });
+    EXPECT_EQ(pair.first, pair.second);  // never a torn (old, new) view
+    EXPECT_EQ(pair.first, 7);
+  });
+
+  while (!reader_read_x.load(std::memory_order_acquire)) std::this_thread::yield();
+  {
+    ThreadCtx& tc = rt->attach_thread();
+    rt->atomically(tc, [&](Tx& tx) {
+      *x.open_write(tx) = 7;
+      *y.open_write(tx) = 7;
+    });
+    rt->detach_thread(tc);
+  }
+  writer_done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GE(reader_attempts.load(), 2);  // first attempt failed validation
+}
+
+TEST(InvisibleReads, ReadersSeeConsistentPairsUnderChurn) {
+  auto rt = make_invisible_runtime("Polka", 3, /*preempt=*/25);
+  TObject<long> x(0);
+  TObject<long> y(0);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> mismatches{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      ThreadCtx& tc = rt->attach_thread();
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto pair = rt->atomically(tc, [&](Tx& tx) {
+          return std::pair<long, long>(*x.open_read(tx), *y.open_read(tx));
+        });
+        if (pair.first != pair.second) mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  {
+    std::thread writer([&] {
+      ThreadCtx& tc = rt->attach_thread();
+      for (int i = 1; i <= 400; ++i) {
+        rt->atomically(tc, [&](Tx& tx) {
+          *x.open_write(tx) = i;
+          *y.open_write(tx) = i;
+        });
+      }
+      stop.store(true, std::memory_order_release);
+    });
+    writer.join();
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(InvisibleReads, IntSetMatchesOracle) {
+  auto rt = make_invisible_runtime();
+  ThreadCtx& tc = rt->attach_thread();
+  auto set = structs::make_intset("list");
+  structs::SequentialSet oracle;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 1500; ++i) {
+    const long key = static_cast<long>(rng.below(64));
+    if (rng.below(2) == 0) {
+      EXPECT_EQ(rt->atomically(tc, [&](Tx& tx) { return set->insert(tx, key); }),
+                oracle.insert(key));
+    } else {
+      EXPECT_EQ(rt->atomically(tc, [&](Tx& tx) { return set->remove(tx, key); }),
+                oracle.remove(key));
+    }
+  }
+  EXPECT_EQ(set->quiescent_elements(), oracle.elements());
+}
+
+TEST(InvisibleReads, ConcurrentCounterHasNoLostUpdates) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kIncrements = 300;
+  auto rt = make_invisible_runtime("Greedy", kThreads, /*preempt=*/25);
+  TObject<long> counter(0);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      ThreadCtx& tc = rt->attach_thread();
+      for (int i = 0; i < kIncrements; ++i) {
+        rt->atomically(tc, [&](Tx& tx) { *counter.open_write(tx) += 1; });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(*counter.peek(), static_cast<long>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace wstm::stm

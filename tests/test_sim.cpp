@@ -1,0 +1,199 @@
+// Simulator tests: window generation, conflict graphs, coloring, and the
+// discrete-time schedulers (completion, lower bounds, theory-bound sanity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/conflict_graph.hpp"
+#include "sim/experiment.hpp"
+#include "sim/model.hpp"
+#include "sim/schedulers.hpp"
+
+namespace wstm::sim {
+namespace {
+
+TEST(SimModel, RandomWindowShape) {
+  const SimWindow w = make_random_window(4, 10, 100, 3, 1);
+  EXPECT_EQ(w.total(), 40u);
+  EXPECT_EQ(w.txs.size(), 40u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 10; ++j) {
+      const SimTransaction& t = w.tx(i, j);
+      EXPECT_EQ(t.thread, i);
+      EXPECT_EQ(t.index, j);
+      EXPECT_EQ(t.resources.size(), 3u);
+      std::set<std::uint32_t> uniq(t.resources.begin(), t.resources.end());
+      EXPECT_EQ(uniq.size(), t.resources.size());  // distinct
+      for (const auto r : t.resources) EXPECT_LT(r, 100u);
+    }
+  }
+}
+
+TEST(SimModel, ColumnarWindowConfinesResourcesToColumns) {
+  const SimWindow w = make_columnar_window(4, 6, 10, 2, 2);
+  for (const SimTransaction& t : w.txs) {
+    for (const auto r : t.resources) {
+      EXPECT_GE(r, t.index * 10);
+      EXPECT_LT(r, (t.index + 1) * 10);
+    }
+  }
+}
+
+TEST(ConflictGraphTest, EdgesMatchSharedResources) {
+  SimWindow w;
+  w.m = 3;
+  w.n = 1;
+  w.num_resources = 4;
+  w.txs = {
+      SimTransaction{0, 0, {0, 1}},
+      SimTransaction{1, 0, {1, 2}},
+      SimTransaction{2, 0, {3}},
+  };
+  const ConflictGraph g(w);
+  EXPECT_TRUE(g.conflicts(0, 1));
+  EXPECT_TRUE(g.conflicts(1, 0));
+  EXPECT_FALSE(g.conflicts(0, 2));
+  EXPECT_FALSE(g.conflicts(1, 2));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.max_degree(), 1u);
+  EXPECT_EQ(g.max_degree_of_thread(2), 0u);
+}
+
+TEST(ConflictGraphTest, ColumnarWindowsHaveNoCrossColumnEdges) {
+  const SimWindow w = make_columnar_window(6, 4, 3, 2, 3);
+  const ConflictGraph g(w);
+  for (std::uint32_t a = 0; a < w.total(); ++a) {
+    for (const std::uint32_t b : g.neighbors(a)) {
+      EXPECT_EQ(w.txs[a].index, w.txs[b].index);  // same column only
+    }
+  }
+}
+
+TEST(ConflictGraphTest, GreedyColoringIsProper) {
+  const SimWindow w = make_random_window(8, 6, 30, 3, 4);
+  const ConflictGraph g(w);
+  std::vector<std::uint32_t> colors;
+  const std::uint32_t k = g.greedy_coloring(&colors);
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, g.max_degree() + 1);  // greedy bound
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    for (const std::uint32_t u : g.neighbors(v)) EXPECT_NE(colors[v], colors[u]);
+  }
+}
+
+class EveryScheduler : public ::testing::TestWithParam<SchedulerOptions::Mode> {};
+INSTANTIATE_TEST_SUITE_P(Modes, EveryScheduler,
+                         ::testing::Values(SchedulerOptions::Mode::kOffline,
+                                           SchedulerOptions::Mode::kOnline,
+                                           SchedulerOptions::Mode::kOneshotRR,
+                                           SchedulerOptions::Mode::kGreedyTimestamp));
+
+TEST_P(EveryScheduler, CommitsEverythingAndRespectsLowerBound) {
+  const SimWindow w = make_random_window(6, 8, 40, 2, 7);
+  const ConflictGraph g(w);
+  SchedulerOptions opt;
+  opt.mode = GetParam();
+  Xoshiro256 rng(3);
+  const SimResult r = run_scheduler(w, g, opt, rng);
+  EXPECT_EQ(r.commits, w.total());
+  // N is a trivial lower bound (thread-serial execution).
+  EXPECT_GE(r.makespan, static_cast<std::uint64_t>(w.n));
+  EXPECT_GT(r.throughput(), 0.0);
+}
+
+TEST_P(EveryScheduler, ConflictFreeWindowFinishesInExactlyNSteps) {
+  // Each thread uses a private resource: no conflicts at all.
+  SimWindow w;
+  w.m = 4;
+  w.n = 5;
+  w.num_resources = 4;
+  for (std::uint32_t i = 0; i < w.m; ++i) {
+    for (std::uint32_t j = 0; j < w.n; ++j) w.txs.push_back(SimTransaction{i, j, {i}});
+  }
+  const ConflictGraph g(w);
+  SchedulerOptions opt;
+  opt.mode = GetParam();
+  Xoshiro256 rng(11);
+  const SimResult r = run_scheduler(w, g, opt, rng);
+  EXPECT_EQ(r.commits, w.total());
+  EXPECT_EQ(r.makespan, static_cast<std::uint64_t>(w.n));
+  EXPECT_EQ(r.aborts, 0u);
+}
+
+TEST(SchedulerBehavior, FullConflictSerializes) {
+  // Everybody uses the same resource: M*N transactions must serialize.
+  SimWindow w;
+  w.m = 4;
+  w.n = 3;
+  w.num_resources = 1;
+  for (std::uint32_t i = 0; i < w.m; ++i) {
+    for (std::uint32_t j = 0; j < w.n; ++j) w.txs.push_back(SimTransaction{i, j, {0}});
+  }
+  const ConflictGraph g(w);
+  SchedulerOptions opt;
+  opt.mode = SchedulerOptions::Mode::kGreedyTimestamp;
+  Xoshiro256 rng(5);
+  const SimResult r = run_scheduler(w, g, opt, rng);
+  EXPECT_EQ(r.makespan, static_cast<std::uint64_t>(w.m) * w.n);
+}
+
+TEST(SchedulerBehavior, OfflineMakespanWithinTheoryBound) {
+  // Theorem 2.1: makespan = O(C + N log MN). Check the ratio against the
+  // bound (with constant 1) stays modest across several contention levels.
+  for (const std::uint32_t pool : {4u, 16u, 64u}) {
+    const SimWindow w = make_columnar_window(16, 10, pool, 2, 21);
+    const ConflictGraph g(w);
+    SchedulerOptions opt;
+    opt.mode = SchedulerOptions::Mode::kOffline;
+    const AveragedSim avg = average_runs(w, g, opt, 3, 77);
+    const double bound = offline_bound(w.m, w.n, g.max_degree());
+    EXPECT_LT(avg.makespan, 3.0 * bound)
+        << "pool=" << pool << " C=" << g.max_degree() << " makespan=" << avg.makespan;
+  }
+}
+
+TEST(SchedulerBehavior, DynamicFramesNeverSlowerThanStatic) {
+  const SimWindow w = make_columnar_window(8, 12, 8, 2, 9);
+  const ConflictGraph g(w);
+  SchedulerOptions st;
+  st.mode = SchedulerOptions::Mode::kOnline;
+  st.dynamic_frames = false;
+  st.frame_factor = 2.0;
+  SchedulerOptions dy = st;
+  dy.dynamic_frames = true;
+  const AveragedSim s = average_runs(w, g, st, 4, 13);
+  const AveragedSim d = average_runs(w, g, dy, 4, 13);
+  EXPECT_LE(d.makespan, s.makespan * 1.05);  // contraction only helps
+}
+
+TEST(SchedulerBehavior, NamesDistinguishVariants) {
+  SchedulerOptions opt;
+  opt.mode = SchedulerOptions::Mode::kOnline;
+  EXPECT_EQ(scheduler_name(opt), "Sim-Online");
+  opt.dynamic_frames = true;
+  EXPECT_EQ(scheduler_name(opt), "Sim-Online-Dynamic");
+  opt.mode = SchedulerOptions::Mode::kGreedyTimestamp;
+  EXPECT_EQ(scheduler_name(opt), "Sim-Greedy");
+}
+
+TEST(TheoryBounds, GrowWithContentionAndWindow) {
+  EXPECT_LT(offline_bound(4, 10, 2), offline_bound(4, 10, 50));
+  EXPECT_LT(offline_bound(4, 10, 2), offline_bound(4, 100, 2));
+  EXPECT_LT(offline_bound(4, 10, 10), online_bound(4, 10, 10));  // log factors
+}
+
+TEST(Averaging, ReportsStableStatistics) {
+  const SimWindow w = make_random_window(4, 6, 30, 2, 15);
+  const ConflictGraph g(w);
+  SchedulerOptions opt;
+  opt.mode = SchedulerOptions::Mode::kOneshotRR;
+  const AveragedSim a = average_runs(w, g, opt, 5, 1);
+  EXPECT_GT(a.makespan, 0.0);
+  EXPECT_GE(a.makespan_stddev, 0.0);
+  EXPECT_GT(a.throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace wstm::sim

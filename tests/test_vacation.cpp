@@ -1,0 +1,215 @@
+// Vacation benchmark tests: manager semantics, client action mix, and
+// concurrent consistency of the booking database.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cm/registry.hpp"
+#include "stm/runtime.hpp"
+#include "vacation/client.hpp"
+#include "vacation/manager.hpp"
+
+namespace wstm::vacation {
+namespace {
+
+std::unique_ptr<stm::Runtime> make_runtime(const std::string& cm = "Polka",
+                                           unsigned threads = 4) {
+  cm::Params params;
+  params.threads = threads;
+  params.window_n = 16;
+  return std::make_unique<stm::Runtime>(cm::make_manager(cm, params));
+}
+
+TEST(Reservation, CapacityAndBookingRules) {
+  Reservation r;
+  EXPECT_TRUE(r.add_capacity(3));
+  EXPECT_EQ(r.num_free, 3);
+  EXPECT_EQ(r.num_total, 3);
+  EXPECT_TRUE(r.make());
+  EXPECT_EQ(r.num_used, 1);
+  EXPECT_FALSE(r.add_capacity(-3));  // would strand the used unit
+  EXPECT_TRUE(r.add_capacity(-2));
+  EXPECT_EQ(r.num_total, 1);
+  EXPECT_FALSE(r.make());  // sold out
+  EXPECT_TRUE(r.cancel());
+  EXPECT_FALSE(r.cancel());  // nothing booked
+  EXPECT_TRUE(r.invariant_ok());
+}
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  ManagerTest() : rt_(make_runtime()), tc_(&rt_->attach_thread()) {}
+
+  template <typename F>
+  auto tx(F&& fn) {
+    return rt_->atomically(*tc_, std::forward<F>(fn));
+  }
+
+  std::unique_ptr<stm::Runtime> rt_;
+  stm::ThreadCtx* tc_;
+  Manager mgr_;
+};
+
+TEST_F(ManagerTest, AddReservationCreatesUpdatesAndRemoves) {
+  EXPECT_TRUE(tx([&](stm::Tx& t) { return mgr_.add_reservation(t, ReservationType::kCar, 1, 10, 50); }));
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_free(t, ReservationType::kCar, 1); }), 10);
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_price(t, ReservationType::kCar, 1); }), 50);
+  // Grow + reprice.
+  EXPECT_TRUE(tx([&](stm::Tx& t) { return mgr_.add_reservation(t, ReservationType::kCar, 1, 5, 60); }));
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_free(t, ReservationType::kCar, 1); }), 15);
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_price(t, ReservationType::kCar, 1); }), 60);
+  // Shrink to zero removes the row.
+  EXPECT_TRUE(tx([&](stm::Tx& t) { return mgr_.add_reservation(t, ReservationType::kCar, 1, -15, -1); }));
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_free(t, ReservationType::kCar, 1); }), -1);
+}
+
+TEST_F(ManagerTest, AddReservationRejectsBadCreation) {
+  EXPECT_FALSE(tx([&](stm::Tx& t) { return mgr_.add_reservation(t, ReservationType::kRoom, 9, -5, 10); }));
+  EXPECT_FALSE(tx([&](stm::Tx& t) { return mgr_.add_reservation(t, ReservationType::kRoom, 9, 5, -2); }));
+}
+
+TEST_F(ManagerTest, ReserveBooksAndBills) {
+  tx([&](stm::Tx& t) {
+    mgr_.add_reservation(t, ReservationType::kFlight, 7, 2, 300);
+    mgr_.add_customer(t, 42);
+  });
+  EXPECT_TRUE(tx([&](stm::Tx& t) { return mgr_.reserve(t, ReservationType::kFlight, 42, 7); }));
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_free(t, ReservationType::kFlight, 7); }), 1);
+  EXPECT_EQ(tx([&](stm::Tx& t) { return *mgr_.query_customer_bill(t, 42); }), 300);
+  // Unknown customer / row.
+  EXPECT_FALSE(tx([&](stm::Tx& t) { return mgr_.reserve(t, ReservationType::kFlight, 99, 7); }));
+  EXPECT_FALSE(tx([&](stm::Tx& t) { return mgr_.reserve(t, ReservationType::kFlight, 42, 99); }));
+  std::string why;
+  EXPECT_TRUE(mgr_.quiescent_consistent(&why)) << why;
+}
+
+TEST_F(ManagerTest, ReserveFailsWhenSoldOut) {
+  tx([&](stm::Tx& t) {
+    mgr_.add_reservation(t, ReservationType::kRoom, 1, 1, 100);
+    mgr_.add_customer(t, 1);
+    mgr_.add_customer(t, 2);
+  });
+  EXPECT_TRUE(tx([&](stm::Tx& t) { return mgr_.reserve(t, ReservationType::kRoom, 1, 1); }));
+  EXPECT_FALSE(tx([&](stm::Tx& t) { return mgr_.reserve(t, ReservationType::kRoom, 2, 1); }));
+}
+
+TEST_F(ManagerTest, CancelReleasesBooking) {
+  tx([&](stm::Tx& t) {
+    mgr_.add_reservation(t, ReservationType::kCar, 3, 1, 80);
+    mgr_.add_customer(t, 5);
+    mgr_.reserve(t, ReservationType::kCar, 5, 3);
+  });
+  EXPECT_TRUE(tx([&](stm::Tx& t) { return mgr_.cancel(t, ReservationType::kCar, 5, 3); }));
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_free(t, ReservationType::kCar, 3); }), 1);
+  EXPECT_EQ(tx([&](stm::Tx& t) { return *mgr_.query_customer_bill(t, 5); }), 0);
+  EXPECT_FALSE(tx([&](stm::Tx& t) { return mgr_.cancel(t, ReservationType::kCar, 5, 3); }));
+  std::string why;
+  EXPECT_TRUE(mgr_.quiescent_consistent(&why)) << why;
+}
+
+TEST_F(ManagerTest, DeleteCustomerReleasesEverything) {
+  tx([&](stm::Tx& t) {
+    mgr_.add_reservation(t, ReservationType::kCar, 1, 1, 10);
+    mgr_.add_reservation(t, ReservationType::kRoom, 2, 1, 20);
+    mgr_.add_customer(t, 9);
+    mgr_.reserve(t, ReservationType::kCar, 9, 1);
+    mgr_.reserve(t, ReservationType::kRoom, 9, 2);
+  });
+  const auto bill = tx([&](stm::Tx& t) { return mgr_.delete_customer(t, 9); });
+  EXPECT_EQ(bill, std::optional<long>(30));
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_free(t, ReservationType::kCar, 1); }), 1);
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.query_free(t, ReservationType::kRoom, 2); }), 1);
+  EXPECT_EQ(tx([&](stm::Tx& t) { return mgr_.delete_customer(t, 9); }), std::nullopt);
+  std::string why;
+  EXPECT_TRUE(mgr_.quiescent_consistent(&why)) << why;
+}
+
+TEST_F(ManagerTest, CannotRetireUsedCapacity) {
+  tx([&](stm::Tx& t) {
+    mgr_.add_reservation(t, ReservationType::kFlight, 4, 1, 10);
+    mgr_.add_customer(t, 1);
+    mgr_.reserve(t, ReservationType::kFlight, 1, 4);
+  });
+  EXPECT_FALSE(tx([&](stm::Tx& t) { return mgr_.add_reservation(t, ReservationType::kFlight, 4, -1, -1); }));
+  std::string why;
+  EXPECT_TRUE(mgr_.quiescent_consistent(&why)) << why;
+}
+
+TEST(VacationClient, PopulateFillsTables) {
+  auto rt = make_runtime();
+  stm::ThreadCtx& tc = rt->attach_thread();
+  Manager mgr;
+  ClientConfig cfg;
+  cfg.relations = 16;
+  Client client(mgr, cfg);
+  client.populate(*rt, tc);
+  for (int t = 0; t < kNumReservationTypes; ++t) {
+    EXPECT_EQ(mgr.table(static_cast<ReservationType>(t)).quiescent_entries().size(), 16u);
+  }
+  EXPECT_EQ(mgr.customers().quiescent_entries().size(), 16u);
+  std::string why;
+  EXPECT_TRUE(mgr.quiescent_consistent(&why)) << why;
+}
+
+TEST(VacationClient, SingleThreadedActionMixStaysConsistent) {
+  auto rt = make_runtime();
+  stm::ThreadCtx& tc = rt->attach_thread();
+  Manager mgr;
+  Client client(mgr, high_contention_config());
+  client.populate(*rt, tc);
+  Xoshiro256 rng(5);
+  int made = 0, deleted = 0, updated = 0;
+  for (int i = 0; i < 600; ++i) {
+    switch (client.run_one(*rt, tc, rng)) {
+      case Client::Action::kMakeReservation: ++made; break;
+      case Client::Action::kDeleteCustomer: ++deleted; break;
+      case Client::Action::kUpdateTables: ++updated; break;
+    }
+  }
+  // The mix must include every action type at these counts.
+  EXPECT_GT(made, 0);
+  EXPECT_GT(deleted, 0);
+  EXPECT_GT(updated, 0);
+  std::string why;
+  EXPECT_TRUE(mgr.quiescent_consistent(&why)) << why;
+}
+
+class VacationConcurrent : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(Cms, VacationConcurrent,
+                         ::testing::Values("Polka", "Greedy", "Priority", "Online-Dynamic",
+                                           "Adaptive-Improved-Dynamic"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_P(VacationConcurrent, DatabaseStaysConsistentUnderContention) {
+  constexpr unsigned kThreads = 4;
+  auto rt = make_runtime(GetParam(), kThreads);
+  Manager mgr;
+  Client client(mgr, high_contention_config());
+  {
+    stm::ThreadCtx& tc = rt->attach_thread();
+    client.populate(*rt, tc);
+    rt->detach_thread(tc);
+  }
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      stm::ThreadCtx& tc = rt->attach_thread();
+      Xoshiro256 rng(31 + t);
+      for (int i = 0; i < 150; ++i) client.run_one(*rt, tc, rng);
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::string why;
+  EXPECT_TRUE(mgr.quiescent_consistent(&why)) << why;
+}
+
+}  // namespace
+}  // namespace wstm::vacation
