@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reads.dir/ablation_reads.cpp.o"
+  "CMakeFiles/ablation_reads.dir/ablation_reads.cpp.o.d"
+  "ablation_reads"
+  "ablation_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

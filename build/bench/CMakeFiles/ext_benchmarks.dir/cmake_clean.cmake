@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_benchmarks.dir/ext_benchmarks.cpp.o"
+  "CMakeFiles/ext_benchmarks.dir/ext_benchmarks.cpp.o.d"
+  "ext_benchmarks"
+  "ext_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_metrics.dir/ext_metrics.cpp.o"
+  "CMakeFiles/ext_metrics.dir/ext_metrics.cpp.o.d"
+  "ext_metrics"
+  "ext_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_window_variants.dir/fig2_window_variants.cpp.o"
+  "CMakeFiles/fig2_window_variants.dir/fig2_window_variants.cpp.o.d"
+  "fig2_window_variants"
+  "fig2_window_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_window_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vs_classic.dir/fig3_vs_classic.cpp.o"
+  "CMakeFiles/fig3_vs_classic.dir/fig3_vs_classic.cpp.o.d"
+  "fig3_vs_classic"
+  "fig3_vs_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vs_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

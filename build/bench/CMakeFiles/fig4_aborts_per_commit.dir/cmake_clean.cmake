@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_aborts_per_commit.dir/fig4_aborts_per_commit.cpp.o"
+  "CMakeFiles/fig4_aborts_per_commit.dir/fig4_aborts_per_commit.cpp.o.d"
+  "fig4_aborts_per_commit"
+  "fig4_aborts_per_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_aborts_per_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

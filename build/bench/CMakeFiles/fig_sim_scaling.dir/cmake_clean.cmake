@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_sim_scaling.dir/fig_sim_scaling.cpp.o"
+  "CMakeFiles/fig_sim_scaling.dir/fig_sim_scaling.cpp.o.d"
+  "fig_sim_scaling"
+  "fig_sim_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sim_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stm.dir/micro_stm.cpp.o"
+  "CMakeFiles/micro_stm.dir/micro_stm.cpp.o.d"
+  "micro_stm"
+  "micro_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_makespan.dir/theory_makespan.cpp.o"
+  "CMakeFiles/theory_makespan.dir/theory_makespan.cpp.o.d"
+  "theory_makespan"
+  "theory_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vacation_booking.dir/vacation_booking.cpp.o"
+  "CMakeFiles/vacation_booking.dir/vacation_booking.cpp.o.d"
+  "vacation_booking"
+  "vacation_booking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vacation_booking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vacation_booking.
+# This may be replaced when dependencies are built.

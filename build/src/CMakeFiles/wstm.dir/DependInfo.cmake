@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cm/aggressive.cpp" "src/CMakeFiles/wstm.dir/cm/aggressive.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/aggressive.cpp.o.d"
+  "/root/repo/src/cm/ats.cpp" "src/CMakeFiles/wstm.dir/cm/ats.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/ats.cpp.o.d"
+  "/root/repo/src/cm/eruption.cpp" "src/CMakeFiles/wstm.dir/cm/eruption.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/eruption.cpp.o.d"
+  "/root/repo/src/cm/greedy.cpp" "src/CMakeFiles/wstm.dir/cm/greedy.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/greedy.cpp.o.d"
+  "/root/repo/src/cm/karma.cpp" "src/CMakeFiles/wstm.dir/cm/karma.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/karma.cpp.o.d"
+  "/root/repo/src/cm/kindergarten.cpp" "src/CMakeFiles/wstm.dir/cm/kindergarten.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/kindergarten.cpp.o.d"
+  "/root/repo/src/cm/manager.cpp" "src/CMakeFiles/wstm.dir/cm/manager.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/manager.cpp.o.d"
+  "/root/repo/src/cm/polite.cpp" "src/CMakeFiles/wstm.dir/cm/polite.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/polite.cpp.o.d"
+  "/root/repo/src/cm/polka.cpp" "src/CMakeFiles/wstm.dir/cm/polka.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/polka.cpp.o.d"
+  "/root/repo/src/cm/priority.cpp" "src/CMakeFiles/wstm.dir/cm/priority.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/priority.cpp.o.d"
+  "/root/repo/src/cm/randomized_rounds.cpp" "src/CMakeFiles/wstm.dir/cm/randomized_rounds.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/randomized_rounds.cpp.o.d"
+  "/root/repo/src/cm/registry.cpp" "src/CMakeFiles/wstm.dir/cm/registry.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/registry.cpp.o.d"
+  "/root/repo/src/cm/steal_on_abort.cpp" "src/CMakeFiles/wstm.dir/cm/steal_on_abort.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/steal_on_abort.cpp.o.d"
+  "/root/repo/src/cm/timestamp.cpp" "src/CMakeFiles/wstm.dir/cm/timestamp.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/cm/timestamp.cpp.o.d"
+  "/root/repo/src/ebr/ebr.cpp" "src/CMakeFiles/wstm.dir/ebr/ebr.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/ebr/ebr.cpp.o.d"
+  "/root/repo/src/harness/kmeans.cpp" "src/CMakeFiles/wstm.dir/harness/kmeans.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/harness/kmeans.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/wstm.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/CMakeFiles/wstm.dir/harness/runner.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/harness/runner.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "src/CMakeFiles/wstm.dir/harness/workload.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/harness/workload.cpp.o.d"
+  "/root/repo/src/sim/conflict_graph.cpp" "src/CMakeFiles/wstm.dir/sim/conflict_graph.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/sim/conflict_graph.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/wstm.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/model.cpp" "src/CMakeFiles/wstm.dir/sim/model.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/sim/model.cpp.o.d"
+  "/root/repo/src/sim/offline_scheduler.cpp" "src/CMakeFiles/wstm.dir/sim/offline_scheduler.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/sim/offline_scheduler.cpp.o.d"
+  "/root/repo/src/stm/metrics.cpp" "src/CMakeFiles/wstm.dir/stm/metrics.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/stm/metrics.cpp.o.d"
+  "/root/repo/src/stm/runtime.cpp" "src/CMakeFiles/wstm.dir/stm/runtime.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/stm/runtime.cpp.o.d"
+  "/root/repo/src/stm/tx.cpp" "src/CMakeFiles/wstm.dir/stm/tx.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/stm/tx.cpp.o.d"
+  "/root/repo/src/structs/hashtable.cpp" "src/CMakeFiles/wstm.dir/structs/hashtable.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/structs/hashtable.cpp.o.d"
+  "/root/repo/src/structs/intset_list.cpp" "src/CMakeFiles/wstm.dir/structs/intset_list.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/structs/intset_list.cpp.o.d"
+  "/root/repo/src/structs/rbtree.cpp" "src/CMakeFiles/wstm.dir/structs/rbtree.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/structs/rbtree.cpp.o.d"
+  "/root/repo/src/structs/sequential_set.cpp" "src/CMakeFiles/wstm.dir/structs/sequential_set.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/structs/sequential_set.cpp.o.d"
+  "/root/repo/src/structs/skiplist.cpp" "src/CMakeFiles/wstm.dir/structs/skiplist.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/structs/skiplist.cpp.o.d"
+  "/root/repo/src/util/affinity.cpp" "src/CMakeFiles/wstm.dir/util/affinity.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/util/affinity.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/wstm.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/wstm.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/wstm.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/util/table.cpp.o.d"
+  "/root/repo/src/vacation/client.cpp" "src/CMakeFiles/wstm.dir/vacation/client.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/vacation/client.cpp.o.d"
+  "/root/repo/src/vacation/customer.cpp" "src/CMakeFiles/wstm.dir/vacation/customer.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/vacation/customer.cpp.o.d"
+  "/root/repo/src/vacation/manager.cpp" "src/CMakeFiles/wstm.dir/vacation/manager.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/vacation/manager.cpp.o.d"
+  "/root/repo/src/vacation/reservation.cpp" "src/CMakeFiles/wstm.dir/vacation/reservation.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/vacation/reservation.cpp.o.d"
+  "/root/repo/src/window/ci_estimator.cpp" "src/CMakeFiles/wstm.dir/window/ci_estimator.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/window/ci_estimator.cpp.o.d"
+  "/root/repo/src/window/controller.cpp" "src/CMakeFiles/wstm.dir/window/controller.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/window/controller.cpp.o.d"
+  "/root/repo/src/window/frame_clock.cpp" "src/CMakeFiles/wstm.dir/window/frame_clock.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/window/frame_clock.cpp.o.d"
+  "/root/repo/src/window/window_cm.cpp" "src/CMakeFiles/wstm.dir/window/window_cm.cpp.o" "gcc" "src/CMakeFiles/wstm.dir/window/window_cm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cm.dir/test_cm.cpp.o"
+  "CMakeFiles/test_cm.dir/test_cm.cpp.o.d"
+  "test_cm"
+  "test_cm.pdb"
+  "test_cm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invisible.dir/test_invisible.cpp.o"
+  "CMakeFiles/test_invisible.dir/test_invisible.cpp.o.d"
+  "test_invisible"
+  "test_invisible.pdb"
+  "test_invisible[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invisible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

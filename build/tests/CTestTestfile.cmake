@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_ebr[1]_include.cmake")
+include("/root/repo/build/tests/test_stm_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_stm_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_cm[1]_include.cmake")
+include("/root/repo/build/tests/test_window[1]_include.cmake")
+include("/root/repo/build/tests/test_structs[1]_include.cmake")
+include("/root/repo/build/tests/test_vacation[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_kmeans[1]_include.cmake")
+include("/root/repo/build/tests/test_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_invisible[1]_include.cmake")
