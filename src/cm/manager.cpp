@@ -1,3 +1,17 @@
-// Anchor TU for the ContentionManager interface (keeps the vtable and any
-// future out-of-line defaults in one object file).
+// Anchor TU for the ContentionManager interface (keeps the vtable and the
+// out-of-line trace helpers in one object file).
 #include "cm/manager.hpp"
+
+#include "stm/runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace wstm::cm {
+
+void ContentionManager::record_backoff(stm::ThreadCtx& self, const stm::TxDesc& tx,
+                                       std::uint64_t waited_ns, std::uint64_t rounds) noexcept {
+  if (recorder_ == nullptr) return;
+  recorder_->record(self.slot(), trace::EventKind::kBackoff, tx.serial, 0, trace::kNoEnemy,
+                    waited_ns, rounds);
+}
+
+}  // namespace wstm::cm

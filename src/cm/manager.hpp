@@ -18,6 +18,10 @@
 #include "stm/fwd.hpp"
 #include "stm/tx.hpp"
 
+namespace wstm::trace {
+class Recorder;
+}
+
 namespace wstm::cm {
 
 class ContentionManager {
@@ -51,6 +55,20 @@ class ContentionManager {
   virtual void on_window_start(stm::ThreadCtx& self, std::uint32_t n_transactions) {
     (void)self, (void)n_transactions;
   }
+
+  /// Wires the optional event recorder (called by the Runtime; null when
+  /// tracing is off). Managers record backoff/priority events through it.
+  void attach_recorder(trace::Recorder* recorder) noexcept { recorder_ = recorder; }
+
+ protected:
+  /// Records a kBackoff event for a wait the manager performed on behalf of
+  /// `tx` (no-op without a recorder). Defined in manager.cpp.
+  void record_backoff(stm::ThreadCtx& self, const stm::TxDesc& tx, std::uint64_t waited_ns,
+                      std::uint64_t rounds) noexcept;
+
+  /// Null when tracing is disabled. Concrete managers gate every recording
+  /// on this pointer so the untraced hot path stays branch-predictable.
+  trace::Recorder* recorder_ = nullptr;
 };
 
 using ManagerPtr = std::unique_ptr<ContentionManager>;

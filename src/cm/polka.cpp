@@ -34,13 +34,26 @@ stm::Resolution Polka::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDes
   // Give the higher-priority enemy exponentially growing slices of time to
   // finish, one slice per point of priority difference, then abort it.
   const std::uint32_t attempts = theirs - mine;
+  const std::int64_t wait_begin = recorder_ != nullptr ? now_ns() : 0;
+  const auto trace_wait = [&](std::uint32_t slices) {
+    if (recorder_ != nullptr && slices > 0) {
+      record_backoff(self, tx, static_cast<std::uint64_t>(now_ns() - wait_begin), slices);
+    }
+  };
   for (std::uint32_t k = 0; k < attempts; ++k) {
-    if (!tx.is_active()) return stm::Resolution::kAbortSelf;
-    if (!enemy.is_active()) return stm::Resolution::kRetry;
+    if (!tx.is_active()) {
+      trace_wait(k);
+      return stm::Resolution::kAbortSelf;
+    }
+    if (!enemy.is_active()) {
+      trace_wait(k);
+      return stm::Resolution::kRetry;
+    }
     const std::uint32_t exp = k < 12 ? k : 12;  // cap one slice at ~4 ms
     const auto slice = std::chrono::nanoseconds(1000ULL << exp);
     yield_until(slice, [&] { return !enemy.is_active() || !tx.is_active(); });
   }
+  trace_wait(attempts);
   if (!tx.is_active()) return stm::Resolution::kAbortSelf;
   if (!enemy.is_active()) return stm::Resolution::kRetry;
   return stm::Resolution::kAbortEnemy;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <ostream>
 
+#include "trace/sink.hpp"
 #include "util/table.hpp"
 
 namespace wstm::harness {
@@ -53,6 +54,12 @@ void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
   cli.add_flag("visible-reads", "visible (paper) vs invisible (validated) reads", true);
   cli.add_flag("validate", "check structure invariants after each run", true);
   cli.add_flag("csv", "emit CSV instead of aligned tables", false);
+  cli.add_flag("trace",
+               "write per-cell event traces; .json = Chrome trace_event, else binary "
+               "(a -<benchmark>-<cm>-M<threads> suffix is inserted per cell)",
+               std::string{});
+  cli.add_flag("trace-events", "trace ring capacity per thread",
+               static_cast<std::int64_t>(1 << 16));
 }
 
 MatrixSpec matrix_from_cli(const Cli& cli) {
@@ -75,6 +82,9 @@ MatrixSpec matrix_from_cli(const Cli& cli) {
   spec.params.initial_c = cli.get_double("initial-c");
   spec.params.ci_alpha = cli.get_double("ci-alpha");
   spec.csv = cli.get_bool("csv");
+  spec.base.trace_path = cli.get_string("trace");
+  spec.base.trace_events_per_thread =
+      static_cast<std::size_t>(cli.get_int("trace-events"));
   return spec;
 }
 
@@ -90,6 +100,11 @@ bool run_matrix_and_print(const MatrixSpec& spec, Metric metric, std::ostream& o
       for (const auto m : spec.thread_counts) {
         RunConfig cfg = spec.base;
         cfg.threads = static_cast<std::uint32_t>(m);
+        if (!spec.base.trace_path.empty()) {
+          cfg.trace_path = trace::path_with_suffix(
+              spec.base.trace_path,
+              "-" + benchmark + "-" + cm_name + "-M" + std::to_string(m));
+        }
         std::fprintf(stderr, "[%s] %s M=%lld ...\n", benchmark.c_str(), cm_name.c_str(),
                      static_cast<long long>(m));
         const RepeatedResult r = run_repeated(

@@ -1,9 +1,14 @@
 #include "harness/runner.hpp"
 
 #include <atomic>
+#include <exception>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
 #include "util/affinity.hpp"
 #include "util/timing.hpp"
 
@@ -20,6 +25,16 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   } else {
     rt_config.preempt_yield_permille = static_cast<std::uint32_t>(run.preempt_permille);
   }
+
+  // The recorder outlives the Runtime (the config holds a raw pointer).
+  std::unique_ptr<trace::Recorder> recorder;
+  if (!run.trace_path.empty()) {
+    trace::Recorder::Options opts;
+    opts.threads = run.threads;
+    opts.capacity_per_thread = run.trace_events_per_thread;
+    recorder = std::make_unique<trace::Recorder>(opts);
+    rt_config.recorder = recorder.get();
+  }
   stm::Runtime rt(cm::make_manager(cm_name, cm_params), rt_config);
 
   {
@@ -28,6 +43,7 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
     rt.detach_thread(main_tc);
   }
   rt.reset_metrics();
+  if (recorder) recorder->clear();  // populate is not part of the measured run
 
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
@@ -73,6 +89,17 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
     std::string why;
     result.valid = workload.validate(&why);
     result.why = why;
+  }
+  if (recorder) {
+    // Workers are joined, so drain_sorted() sees every ring quiescent.
+    try {
+      if (!trace::write_trace_file(run.trace_path, recorder->drain_sorted())) {
+        throw std::runtime_error("cannot write trace file " + run.trace_path);
+      }
+    } catch (const std::exception& e) {
+      result.valid = false;
+      result.why = result.why.empty() ? e.what() : result.why + "; " + e.what();
+    }
   }
   return result;
 }

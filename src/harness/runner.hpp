@@ -35,6 +35,14 @@ struct RunConfig {
   /// Read mode (see stm::RuntimeConfig::visible_reads). The paper used
   /// visible reads; invisible trades reader bitmaps for validation.
   bool visible_reads = true;
+  /// When non-empty, record transaction events during the measured interval
+  /// and write them here after the run: Chrome trace_event JSON if the path
+  /// ends in ".json", the compact binary format otherwise (read it back
+  /// with trace::read_binary or the wstm-trace CLI).
+  std::string trace_path;
+  /// Ring capacity per thread (rounded up to a power of two); when the ring
+  /// overflows the oldest events are dropped.
+  std::size_t trace_events_per_thread = std::size_t{1} << 16;
 };
 
 struct RunResult {

@@ -1,6 +1,7 @@
 // Template implementation detail of harness/runner.hpp.
 #pragma once
 
+#include "trace/sink.hpp"
 #include "util/stats.hpp"
 
 namespace wstm::harness {
@@ -20,6 +21,9 @@ RepeatedResult run_repeated(const std::string& cm_name, cm::Params cm_params,
     auto workload = factory();
     RunConfig cfg = run;
     cfg.seed = run.seed + i * 7919;
+    if (!run.trace_path.empty() && repetitions > 1) {
+      cfg.trace_path = trace::path_with_suffix(run.trace_path, "-r" + std::to_string(i));
+    }
     const RunResult r = run_workload(cm_name, cm_params, *workload, cfg);
     throughput.add(r.summary.throughput_per_s);
     aborts.add(r.summary.aborts_per_commit);

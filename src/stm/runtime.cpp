@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/recorder.hpp"
+
 namespace wstm::stm {
 
 namespace {
@@ -16,6 +18,7 @@ void release_desc_ref(void* desc_ptr) { static_cast<TxDesc*>(desc_ptr)->release(
 Runtime::Runtime(cm::ManagerPtr manager, Config config)
     : manager_(std::move(manager)), config_(config) {
   if (!manager_) throw std::invalid_argument("Runtime requires a contention manager");
+  manager_->attach_recorder(config_.recorder);
 }
 
 Runtime::~Runtime() {
@@ -66,6 +69,9 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
 
   tc.current_ = desc;
   tc.waited_this_attempt_ = false;
+  if (trace::Recorder* rec = config_.recorder) {
+    rec->record(tc.slot_, trace::EventKind::kBegin, desc->serial, is_retry ? 1 : 0);
+  }
   manager_->on_begin(tc, *desc, is_retry);
   return desc;
 }
@@ -110,6 +116,11 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
     tc.metrics_.commits++;
     tc.metrics_.committed_ns += elapsed;
     tc.metrics_.response_ns += now_ns() - desc->first_begin_ns;
+    if (trace::Recorder* rec = config_.recorder) {
+      rec->record(tc.slot_, trace::EventKind::kCommit, desc->serial, 0, trace::kNoEnemy,
+                  static_cast<std::uint64_t>(elapsed),
+                  static_cast<std::uint64_t>(now_ns() - desc->first_begin_ns));
+    }
     manager_->on_commit(tc, *desc);
   } else {
     for (const auto& a : tc.allocs_) a.deleter(a.ptr);
@@ -117,6 +128,19 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
     tc.commit_retires_.clear();
     tc.metrics_.aborts++;
     tc.metrics_.wasted_ns += elapsed;
+    if (trace::Recorder* rec = config_.recorder) {
+      // Best-effort killer attribution from a manager-registered aborter
+      // (Steal-On-Abort); the offline analyzer joins the winner's conflict
+      // events for the general case.
+      std::uint32_t killer = trace::kNoEnemy;
+      std::uint64_t killer_serial = 0;
+      if (const TxDesc* by = desc->aborted_by.load(std::memory_order_acquire)) {
+        killer = by->thread_slot;
+        killer_serial = by->serial;
+      }
+      rec->record(tc.slot_, trace::EventKind::kAbort, desc->serial, 0, killer,
+                  static_cast<std::uint64_t>(elapsed), killer_serial);
+    }
     manager_->on_abort(tc, *desc);
   }
   if (tc.waited_this_attempt_) tc.metrics_.waits++;
@@ -143,6 +167,18 @@ void Runtime::note_conflict(ThreadCtx& tc, const TxDesc& enemy) {
   } else {
     tc.last_enemy_slot_ = enemy.thread_slot;
     tc.last_enemy_serial_ = enemy.serial;
+  }
+}
+
+void Runtime::trace_conflict(ThreadCtx& tc, const TxDesc& enemy, ConflictKind kind,
+                             Resolution res) {
+  trace::Recorder* rec = config_.recorder;
+  if (rec == nullptr) return;
+  const std::uint64_t serial = tc.current_->serial;
+  rec->record(tc.slot_, trace::EventKind::kConflict, serial, trace::pack_conflict(kind, res),
+              enemy.thread_slot, enemy.serial);
+  if (res == Resolution::kRetry) {
+    rec->record(tc.slot_, trace::EventKind::kWait, serial, 0, enemy.thread_slot, enemy.serial);
   }
 }
 
@@ -190,6 +226,7 @@ const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
     tc.metrics_.rw_conflicts++;
     note_conflict(tc, *owner);
     const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kReadWrite);
+    trace_conflict(tc, *owner, ConflictKind::kReadWrite, res);
     if (res == Resolution::kAbortEnemy) {
       owner->try_abort();  // loop re-reads; even if it committed we proceed
     } else if (res == Resolution::kAbortSelf) {
@@ -221,6 +258,7 @@ const void* Runtime::open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
         tc.metrics_.rw_conflicts++;
         note_conflict(tc, *owner);
         const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kReadWrite);
+        trace_conflict(tc, *owner, ConflictKind::kReadWrite, res);
         if (res == Resolution::kAbortEnemy) {
           owner->try_abort();
         } else if (res == Resolution::kAbortSelf) {
@@ -291,6 +329,7 @@ void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
         tc.metrics_.ww_conflicts++;
         note_conflict(tc, *owner);
         const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kWriteWrite);
+        trace_conflict(tc, *owner, ConflictKind::kWriteWrite, res);
         if (res == Resolution::kAbortEnemy) {
           owner->try_abort();
         } else if (res == Resolution::kAbortSelf) {
@@ -339,6 +378,7 @@ void Runtime::resolve_readers(ThreadCtx& tc, TObjectBase& obj) {
       tc.metrics_.wr_conflicts++;
       note_conflict(tc, *enemy);
       const Resolution res = manager_->resolve(tc, *me, *enemy, ConflictKind::kWriteRead);
+      trace_conflict(tc, *enemy, ConflictKind::kWriteRead, res);
       if (res == Resolution::kAbortEnemy) {
         enemy->try_abort();
         break;

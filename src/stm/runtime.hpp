@@ -37,6 +37,10 @@
 #include "util/rng.hpp"
 #include "util/timing.hpp"
 
+namespace wstm::trace {
+class Recorder;
+}
+
 namespace wstm::stm {
 
 /// Thrown (internally) to unwind an aborted attempt. User code should let
@@ -151,6 +155,11 @@ struct RuntimeConfig {
   ///    Writers never see readers, so read-write conflicts surface as the
   ///    reader's own validation aborts.
   bool visible_reads = true;
+
+  /// Optional event recorder (non-owning; must outlive the Runtime). Null
+  /// disables tracing: every instrumentation site then costs one
+  /// predictable null-pointer branch. See trace/recorder.hpp.
+  trace::Recorder* recorder = nullptr;
 };
 
 class Runtime {
@@ -233,6 +242,10 @@ class Runtime {
   /// Repeat-conflict accounting: conflicts against the same enemy attempt
   /// as the previous conflict on this thread.
   void note_conflict(ThreadCtx& tc, const TxDesc& enemy);
+
+  /// Tracing: records the resolved conflict (and a wait event when the
+  /// manager chose kRetry). No-op when no recorder is configured.
+  void trace_conflict(ThreadCtx& tc, const TxDesc& enemy, ConflictKind kind, Resolution res);
 
   /// Invisible-read mode: the committed version of `obj` as of now, given
   /// that `me` owns its own acquisitions. Never blocks.

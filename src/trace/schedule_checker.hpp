@@ -1,0 +1,52 @@
+// Replay a trace and assert the window-CM invariants.
+//
+// The checker is the correctness oracle for the five window variants: it
+// re-executes every recorded priority decision and frame transition and
+// fails loudly when the trace contradicts the model of paper Section II:
+//
+//  1. Lifecycle: per thread, attempts open (kBegin) before they close
+//     (kCommit/kAbort), never nest, and serials strictly increase; every
+//     conflict/resolve/wait belongs to the open attempt.
+//  2. Decision order: every kResolve outcome must match the lexicographic
+//     (π1, π2, slot) comparison of the vectors it recorded — in particular
+//     a LOW-priority transaction may never win against a HIGH one.
+//  3. Priority switch timing: a transaction turns HIGH only once its
+//     assigned frame F_ij = q_i + j has begun (observed frame ≥ assigned).
+//  4. Frame monotonicity: a thread's observed frame never moves backwards
+//     within one window.
+//  5. Bad-event flags on kWindowCommit agree with the recorded frames.
+//
+// Only kResolve events (recorded by WindowCM with the exact values the
+// decision used) are checked against invariant 2; generic kConflict events
+// are exempt because other managers order by different criteria.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace wstm::trace {
+
+struct CheckResult {
+  /// First kMaxViolationMessages violation descriptions.
+  std::vector<std::string> violations;
+  /// Total violations found (may exceed violations.size()).
+  std::size_t total_violations = 0;
+  std::size_t events_checked = 0;
+  std::size_t resolves_checked = 0;
+
+  bool ok() const noexcept { return total_violations == 0; }
+  std::string to_string() const;
+};
+
+/// Caps the number of violation messages retained (the count keeps growing).
+inline constexpr std::size_t kMaxViolationMessages = 32;
+
+class ScheduleChecker {
+ public:
+  /// Replays `events` (sorted internally) and returns every violation found.
+  static CheckResult check(std::vector<Event> events);
+};
+
+}  // namespace wstm::trace

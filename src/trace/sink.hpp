@@ -1,0 +1,38 @@
+// Trace export/import.
+//
+// Two formats:
+//  * Chrome trace_event JSON — load in chrome://tracing or Perfetto.
+//    Transaction attempts become duration ("X") events on one track per
+//    thread; everything else becomes instant events; C_i/CI updates also
+//    emit counter tracks. Write-only (we never parse JSON back).
+//  * wstm binary — an 8-byte magic + header followed by the raw Event
+//    array. Compact, loss-free, and what the `wstm-trace` tool reads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace wstm::trace {
+
+/// Writes `events` (must be time-sorted, as from Recorder::drain_sorted) as
+/// Chrome trace_event JSON.
+void write_chrome_json(const std::vector<Event>& events, std::ostream& out);
+
+/// Writes the binary format (header + raw dump).
+void write_binary(const std::vector<Event>& events, std::ostream& out);
+
+/// Reads a binary trace. Throws std::runtime_error on a bad magic/version.
+std::vector<Event> read_binary(std::istream& in);
+
+/// Writes `events` to `path`, picking the format by extension: ".json" →
+/// Chrome JSON, anything else → binary. Returns false on I/O failure.
+bool write_trace_file(const std::string& path, const std::vector<Event>& events);
+
+/// Inserts `suffix` before the extension: ("out.json", "-list") →
+/// "out-list.json"; appends when there is no extension.
+std::string path_with_suffix(const std::string& path, const std::string& suffix);
+
+}  // namespace wstm::trace

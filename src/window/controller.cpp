@@ -26,17 +26,19 @@ void WindowController::complete_tx(std::uint64_t frame, std::int64_t now_ns) {
   maybe_advance(now_ns);
 }
 
-void WindowController::maybe_advance(std::int64_t now_ns) {
+std::uint64_t WindowController::maybe_advance(std::int64_t now_ns) {
+  std::uint64_t advanced = 0;
   for (;;) {
     const std::uint64_t cur = current_.load(std::memory_order_acquire);
-    if (slot(cur).load(std::memory_order_acquire) != 0) return;  // frame still busy
+    if (slot(cur).load(std::memory_order_acquire) != 0) return advanced;  // frame still busy
     const bool someone_waits = max_registered_.load(std::memory_order_acquire) > cur &&
                                total_pending_.load(std::memory_order_acquire) > 0;
-    if (!someone_waits) return;
+    if (!someone_waits) return advanced;
     std::uint64_t expected = cur;
     if (current_.compare_exchange_strong(expected, cur + 1, std::memory_order_acq_rel)) {
       frame_start_ns_.store(now_ns, std::memory_order_release);
       advances_.fetch_add(1, std::memory_order_relaxed);
+      advanced++;
     }
     // Loop: several consecutive frames may be empty (contraction skips
     // them all at once).

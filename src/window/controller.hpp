@@ -43,7 +43,9 @@ class WindowController {
 
   /// Contraction: advance while the current frame is drained and somebody
   /// is waiting for a later one. Safe to call from any thread at any time.
-  void maybe_advance(std::int64_t now_ns);
+  /// Returns the number of frames this call advanced past (0 = none), so
+  /// tracing callers can attribute the advance to the thread that drove it.
+  std::uint64_t maybe_advance(std::int64_t now_ns);
 
   /// Pending registrations for `frame` (tests/diagnostics).
   std::int64_t pending(std::uint64_t frame) const noexcept;

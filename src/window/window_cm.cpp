@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "stm/runtime.hpp"
+#include "trace/recorder.hpp"
 #include "util/timing.hpp"
 
 namespace wstm::window {
@@ -44,6 +45,9 @@ void WindowCM::start_window(stm::ThreadCtx& self, PerThread& st) {
     st.clock.start(now, phi);
     st.base_frame = 0;
   }
+  // Tracing baseline: static clocks restart at the window start, so the
+  // "last observed frame" restarts with them.
+  st.last_seen_frame = st.base_frame;
 }
 
 std::uint64_t WindowCM::frame_now(const PerThread& st) const {
@@ -52,11 +56,35 @@ std::uint64_t WindowCM::frame_now(const PerThread& st) const {
 
 void WindowCM::refresh_priority(stm::ThreadCtx& self, PerThread& st, stm::TxDesc& tx) {
   if (st.high) return;
-  if (frame_now(st) >= st.assigned_frame) {
+  const std::uint64_t observed = frame_now(st);
+  if (observed >= st.assigned_frame) {
     st.high = true;
     // π2 is (re)drawn "on start of the frame F_ij" (paper Section II-B2).
     tx.rand_prio.store(1 + self.rng().below(options_.threads), std::memory_order_release);
     tx.prio_class.store(0, std::memory_order_release);
+    if (recorder_ != nullptr) {
+      recorder_->record(self.slot(), trace::EventKind::kPrioritySwitch, tx.serial, 0,
+                        trace::kNoEnemy, st.assigned_frame, observed);
+    }
+  }
+}
+
+void WindowCM::maybe_trace_frame(stm::ThreadCtx& self, PerThread& st, const stm::TxDesc& tx) {
+  if (recorder_ == nullptr) return;
+  const std::uint64_t observed = frame_now(st);
+  if (observed != st.last_seen_frame) {
+    recorder_->record(self.slot(), trace::EventKind::kFrameAdvance, tx.serial, 0, trace::kNoEnemy,
+                      observed, st.last_seen_frame);
+    st.last_seen_frame = observed;
+  }
+}
+
+void WindowCM::advance_dynamic(stm::ThreadCtx& self, const stm::TxDesc& tx, std::int64_t now) {
+  const std::uint64_t advanced = controller_.maybe_advance(now);
+  if (recorder_ != nullptr && advanced > 0) {
+    const std::uint64_t cur = controller_.current_frame();
+    recorder_->record(self.slot(), trace::EventKind::kFrameAdvance, tx.serial, 1, trace::kNoEnemy,
+                      cur, cur - advanced);
   }
 }
 
@@ -65,11 +93,18 @@ void WindowCM::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
   const std::int64_t now = now_ns();
 
   if (!is_retry) {
-    if (!st.in_window || st.j >= st.n) start_window(self, st);
+    const bool fresh = !st.in_window || st.j >= st.n;
+    if (fresh) start_window(self, st);
     st.assigned_frame = st.base_frame + st.q + st.j;
     if (options_.dynamic_frames) {
       controller_.register_tx(st.assigned_frame, now);
       st.registered = true;
+    }
+    if (recorder_ != nullptr && fresh) {
+      recorder_->record(self.slot(), trace::EventKind::kWindowStart, tx.serial, 0, trace::kNoEnemy,
+                        st.q, st.n);
+      recorder_->record(self.slot(), trace::EventKind::kCiUpdate, tx.serial, 0, trace::kNoEnemy,
+                        trace::pack_double(st.c_est), trace::pack_double(st.ci.value()));
     }
   }
   st.conflicted_this_attempt = false;
@@ -78,9 +113,10 @@ void WindowCM::on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {
   // Every attempt redraws π2 ("... and after every abort").
   tx.rand_prio.store(1 + self.rng().below(options_.threads), std::memory_order_release);
   tx.prio_class.store(1, std::memory_order_release);
+  maybe_trace_frame(self, st, tx);
   refresh_priority(self, st, tx);
 
-  if (options_.dynamic_frames) controller_.maybe_advance(now);
+  if (options_.dynamic_frames) advance_dynamic(self, tx, now);
 }
 
 stm::Resolution WindowCM::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
@@ -88,23 +124,40 @@ stm::Resolution WindowCM::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::Tx
   (void)kind;
   PerThread& st = *state_[self.slot()];
   st.conflicted_this_attempt = true;
-  if (options_.dynamic_frames) controller_.maybe_advance(now_ns());
+  if (options_.dynamic_frames) advance_dynamic(self, tx, now_ns());
   refresh_priority(self, st, tx);
 
   // Lexicographic comparison of the priority vectors (π1, π2), ties broken
-  // by slot. Lower compares smaller = higher priority = wins.
+  // by slot. Lower compares smaller = higher priority = wins. Each value is
+  // loaded exactly once so the traced kResolve event carries the very
+  // vectors this decision compared (the ScheduleChecker replays them).
   const std::uint64_t my_pc = tx.prio_class.load(std::memory_order_acquire);
   const std::uint64_t en_pc = enemy.prio_class.load(std::memory_order_acquire);
+  std::uint64_t my_p2 = 0;
+  std::uint64_t en_p2 = 0;
+  stm::Resolution res;
   if (my_pc != en_pc) {
-    return my_pc < en_pc ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+    res = my_pc < en_pc ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+    if (recorder_ != nullptr) {
+      my_p2 = tx.rand_prio.load(std::memory_order_acquire);
+      en_p2 = enemy.rand_prio.load(std::memory_order_acquire);
+    }
+  } else {
+    my_p2 = tx.rand_prio.load(std::memory_order_acquire);
+    en_p2 = enemy.rand_prio.load(std::memory_order_acquire);
+    if (my_p2 != en_p2) {
+      res = my_p2 < en_p2 ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+    } else {
+      res = tx.thread_slot < enemy.thread_slot ? stm::Resolution::kAbortEnemy
+                                               : stm::Resolution::kAbortSelf;
+    }
   }
-  const std::uint64_t my_p2 = tx.rand_prio.load(std::memory_order_acquire);
-  const std::uint64_t en_p2 = enemy.rand_prio.load(std::memory_order_acquire);
-  if (my_p2 != en_p2) {
-    return my_p2 < en_p2 ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+  if (recorder_ != nullptr) {
+    recorder_->record(self.slot(), trace::EventKind::kResolve, tx.serial,
+                      static_cast<std::uint8_t>(res), enemy.thread_slot, enemy.serial,
+                      trace::pack_resolve_prios(my_pc, my_p2, en_pc, en_p2));
   }
-  return tx.thread_slot < enemy.thread_slot ? stm::Resolution::kAbortEnemy
-                                            : stm::Resolution::kAbortSelf;
+  return res;
 }
 
 void WindowCM::on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) {
@@ -120,9 +173,14 @@ void WindowCM::on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) {
   }
 
   const bool bad_event = commit_frame > st.assigned_frame;
+  if (recorder_ != nullptr) {
+    recorder_->record(self.slot(), trace::EventKind::kWindowCommit, tx.serial,
+                      bad_event ? 1 : 0, trace::kNoEnemy, st.assigned_frame, commit_frame);
+  }
   st.j++;
   if (bad_event) {
     st.bad_events++;
+    const double old_c = st.c_est;
     switch (options_.adapt) {
       case WindowOptions::Adapt::kNone:
         break;  // Online trusts its configured C_i
@@ -133,6 +191,10 @@ void WindowCM::on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) {
       case WindowOptions::Adapt::kContentionIntensity:
         st.c_est = st.ci.contention_estimate(options_.threads, st.n);
         break;
+    }
+    if (recorder_ != nullptr && st.c_est != old_c) {
+      recorder_->record(self.slot(), trace::EventKind::kCiUpdate, tx.serial, 1, trace::kNoEnemy,
+                        trace::pack_double(st.c_est), trace::pack_double(st.ci.value()));
     }
     if (options_.adapt != WindowOptions::Adapt::kNone && st.j < st.n) {
       // "start over again with the remaining transactions" — the next
@@ -151,7 +213,10 @@ void WindowCM::on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) {
   // A low-priority loser will conflict with the same high-priority winner
   // again immediately; yield once so the winner can use the core. This is
   // a single-scheduler-quantum courtesy, not a backoff policy.
-  if (tx.prio_class.load(std::memory_order_acquire) == 1) std::this_thread::yield();
+  if (tx.prio_class.load(std::memory_order_acquire) == 1) {
+    record_backoff(self, tx, 0, 1);
+    std::this_thread::yield();
+  }
 }
 
 void WindowCM::on_window_start(stm::ThreadCtx& self, std::uint32_t n_transactions) {

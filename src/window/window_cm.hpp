@@ -112,6 +112,7 @@ class WindowCM final : public cm::ContentionManager {
     CiEstimator ci;
     std::uint64_t windows_started = 0;
     std::uint64_t bad_events = 0;
+    std::uint64_t last_seen_frame = 0;  // tracing: last frame this thread observed
   };
 
   void start_window(stm::ThreadCtx& self, PerThread& st);
@@ -119,6 +120,13 @@ class WindowCM final : public cm::ContentionManager {
   void refresh_priority(stm::ThreadCtx& self, PerThread& st, stm::TxDesc& tx);
   std::uint64_t frame_now(const PerThread& st) const;
   void note_tau_sample(std::int64_t sample_ns);
+
+  /// Tracing: records a kFrameAdvance when this thread's observed frame
+  /// moved since it last looked. No-op without a recorder.
+  void maybe_trace_frame(stm::ThreadCtx& self, PerThread& st, const stm::TxDesc& tx);
+  /// Dynamic variants: runs the controller's contraction rule and records
+  /// any advance it performed.
+  void advance_dynamic(stm::ThreadCtx& self, const stm::TxDesc& tx, std::int64_t now);
 
   std::string name_;
   WindowOptions options_;

@@ -1,0 +1,93 @@
+// wstm-trace: offline inspection of binary traces recorded by the harness
+// (--trace out.bin on any bench binary, or RunConfig::trace_path).
+//
+//   wstm-trace summary <trace.bin>   reconstruction report (Analyzer)
+//   wstm-trace check   <trace.bin>   window-invariant replay (ScheduleChecker);
+//                                    exit code 1 when violations are found
+//   wstm-trace json    <trace.bin> [out.json]   convert to Chrome trace_event
+//   wstm-trace frames  <trace.bin>   per-frame occupancy table
+//
+// Binary traces only: JSON output is for chrome://tracing, not for reading
+// back.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/analyzer.hpp"
+#include "trace/schedule_checker.hpp"
+#include "trace/sink.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <summary|check|json|frames> <trace.bin> [out.json]\n"
+               "  summary  attempt/abort/wasted-work reconstruction\n"
+               "  check    replay window-CM invariants (exit 1 on violation)\n"
+               "  json     convert to Chrome trace_event JSON (default stdout)\n"
+               "  frames   per-frame HIGH occupancy and bad-event table\n",
+               prog);
+  return 2;
+}
+
+std::vector<wstm::trace::Event> load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return wstm::trace::read_binary(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  try {
+    std::vector<wstm::trace::Event> events = load(path);
+
+    if (command == "summary") {
+      wstm::trace::Analyzer analyzer(std::move(events));
+      std::cout << analyzer.summary();
+      return 0;
+    }
+    if (command == "check") {
+      const wstm::trace::CheckResult result = wstm::trace::ScheduleChecker::check(std::move(events));
+      std::cout << result.to_string();
+      return result.ok() ? 0 : 1;
+    }
+    if (command == "json") {
+      if (argc >= 4) {
+        std::ofstream out(argv[3], std::ios::binary);
+        if (!out) throw std::runtime_error(std::string("cannot open ") + argv[3]);
+        wstm::trace::write_chrome_json(events, out);
+        if (!out) throw std::runtime_error(std::string("write failed: ") + argv[3]);
+      } else {
+        wstm::trace::write_chrome_json(events, std::cout);
+      }
+      return 0;
+    }
+    if (command == "frames") {
+      wstm::trace::Analyzer analyzer(std::move(events));
+      if (analyzer.frames().empty()) {
+        std::cout << "no window events in trace\n";
+        return 0;
+      }
+      std::printf("%10s %8s %8s %8s %8s\n", "frame", "high", "threads", "commits", "bad");
+      for (const auto& [frame, occ] : analyzer.frames()) {
+        std::printf("%10llu %8u %8u %8u %8u\n", static_cast<unsigned long long>(frame),
+                    occ.high_entries, occ.distinct_threads, occ.commits, occ.bad_commits);
+      }
+      std::printf("high/high collision frames: %llu\n",
+                  static_cast<unsigned long long>(analyzer.high_high_frames()));
+      return 0;
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wstm-trace: %s\n", e.what());
+    return 2;
+  }
+}
