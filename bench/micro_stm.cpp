@@ -4,12 +4,67 @@
 // constant factors under every figure bench.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <new>
 
 #include "cm/registry.hpp"
 #include "stm/runtime.hpp"
 #include "structs/intset.hpp"
+#include "util/affinity.hpp"
 #include "util/rng.hpp"
+
+// ------------------------------------------------- allocation interposer --
+// Replacing the global operator new/delete lets the alloc-pressure benches
+// count exactly how many global-allocator calls the hot path makes. The
+// counter is thread-local so a bench thread observes only its own pressure.
+thread_local std::uint64_t t_alloc_count = 0;
+
+namespace {
+void* counted_alloc(std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ++t_alloc_count;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  // posix_memalign results are free()-compatible, so one delete path serves
+  // both aligned and plain blocks.
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(size != 0 ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace {
 
@@ -150,6 +205,113 @@ void BM_Xoshiro(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Xoshiro);
+
+// ------------------------------------------------- allocation pressure --
+// Arg(1) = pooled (RuntimeConfig::pooling on), Arg(0) = every TxDesc /
+// Locator / clone through the global allocator. The counter reports
+// global-allocator calls per attempt: pooled steady state must be ~0.
+void BM_AllocPressureWriteTx(benchmark::State& state) {
+  stm::RuntimeConfig cfg;
+  cfg.pooling = state.range(0) != 0;
+  cm::Params params;
+  params.threads = 1;
+  stm::Runtime rt(cm::make_manager("Polka", params), cfg);
+  stm::ThreadCtx& tc = rt.attach_thread();
+  std::vector<std::unique_ptr<stm::TObject<long>>> objs;
+  for (int i = 0; i < 4; ++i) objs.push_back(std::make_unique<stm::TObject<long>>(0));
+  // Warm up past first-touch slab carving and EBR epoch lag: the claim under
+  // test is about the steady state, where every block is recycled.
+  for (int i = 0; i < 512; ++i) {
+    rt.atomically(tc, [&](stm::Tx& tx) {
+      for (auto& o : objs) *o->open_write(tx) += 1;
+    });
+  }
+  rt.reset_metrics();
+  const std::uint64_t allocs_before = t_alloc_count;
+  for (auto _ : state) {
+    rt.atomically(tc, [&](stm::Tx& tx) {
+      for (auto& o : objs) *o->open_write(tx) += 1;
+    });
+  }
+  const auto allocs = static_cast<double>(t_alloc_count - allocs_before);
+  const stm::ThreadMetrics totals = rt.total_metrics();
+  const auto attempts = static_cast<double>(totals.commits + totals.aborts);
+  state.counters["allocs_per_attempt"] = attempts > 0 ? allocs / attempts : 0.0;
+  state.counters["attempts"] =
+      benchmark::Counter(attempts, benchmark::Counter::kIsRate);
+  state.SetLabel(cfg.pooling ? "pooled" : "malloc");
+}
+BENCHMARK(BM_AllocPressureWriteTx)->Arg(1)->Arg(0);
+
+// Write-heavy int-set contention at 8 threads, pooled vs. malloc'd. All
+// bench threads share one Runtime + list; the fixture is refcounted because
+// google-benchmark calls the function once per thread.
+struct SharedStm {
+  std::unique_ptr<stm::Runtime> rt;
+  std::unique_ptr<structs::TxIntSet> set;
+};
+
+std::mutex g_shared_mutex;
+SharedStm* g_shared = nullptr;
+int g_shared_refs = 0;
+
+SharedStm& acquire_shared(bool pooling, std::uint32_t threads) {
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  if (g_shared_refs++ == 0) {
+    auto* s = new SharedStm;
+    stm::RuntimeConfig cfg;
+    cfg.pooling = pooling;
+    cfg.preempt_yield_permille = hardware_cpus() < threads ? 25 : 0;
+    cm::Params params;
+    params.threads = threads;
+    s->rt = std::make_unique<stm::Runtime>(cm::make_manager("Polka", params), cfg);
+    s->set = structs::make_intset("list");
+    stm::ThreadCtx& tc = s->rt->attach_thread();
+    for (long k = 0; k < 256; k += 2) {
+      s->rt->atomically(tc, [&](stm::Tx& tx) { s->set->insert(tx, k); });
+    }
+    s->rt->detach_thread(tc);
+    g_shared = s;
+  }
+  return *g_shared;
+}
+
+void release_shared() {
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  if (--g_shared_refs == 0) {
+    delete g_shared;
+    g_shared = nullptr;
+  }
+}
+
+void BM_IntsetWriteHeavy(benchmark::State& state) {
+  const bool pooling = state.range(0) != 0;
+  SharedStm& shared = acquire_shared(pooling, static_cast<std::uint32_t>(state.threads()));
+  stm::ThreadCtx& tc = shared.rt->attach_thread();
+  Xoshiro256 rng(0x5eedULL + static_cast<std::uint64_t>(state.thread_index()));
+  const std::uint64_t allocs_before = t_alloc_count;
+  const stm::ThreadMetrics before = tc.metrics();
+  for (auto _ : state) {
+    const long key = static_cast<long>(rng.below(256));
+    if (rng.below(2) == 0) {
+      shared.rt->atomically(tc, [&](stm::Tx& tx) { return shared.set->insert(tx, key); });
+    } else {
+      shared.rt->atomically(tc, [&](stm::Tx& tx) { return shared.set->remove(tx, key); });
+    }
+  }
+  const auto allocs = static_cast<double>(t_alloc_count - allocs_before);
+  const stm::ThreadMetrics after = tc.metrics();
+  const auto attempts =
+      static_cast<double>((after.commits - before.commits) + (after.aborts - before.aborts));
+  state.counters["allocs_per_attempt"] =
+      benchmark::Counter(attempts > 0 ? allocs / attempts : 0.0,
+                         benchmark::Counter::kAvgThreads);
+  state.counters["attempts"] = benchmark::Counter(attempts, benchmark::Counter::kIsRate);
+  state.SetLabel(pooling ? "pooled" : "malloc");
+  shared.rt->detach_thread(tc);
+  release_shared();
+}
+BENCHMARK(BM_IntsetWriteHeavy)->Threads(8)->Arg(1)->Arg(0)->UseRealTime();
 
 }  // namespace
 

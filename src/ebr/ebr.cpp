@@ -12,7 +12,10 @@ Handle::Handle(Handle&& other) noexcept
       slot_(other.slot_),
       pinned_(std::exchange(other.pinned_, false)),
       retire_count_(other.retire_count_),
-      bins_(std::move(other.bins_)) {}
+      pool_(std::exchange(other.pool_, nullptr)),
+      bins_(other.bins_) {
+  for (Bin& bin : other.bins_) bin = Bin{};
+}
 
 Handle& Handle::operator=(Handle&& other) noexcept {
   if (this != &other) {
@@ -21,7 +24,9 @@ Handle& Handle::operator=(Handle&& other) noexcept {
     slot_ = other.slot_;
     pinned_ = std::exchange(other.pinned_, false);
     retire_count_ = other.retire_count_;
-    bins_ = std::move(other.bins_);
+    pool_ = std::exchange(other.pool_, nullptr);
+    bins_ = other.bins_;
+    for (Bin& bin : other.bins_) bin = Bin{};
   }
   return *this;
 }
@@ -48,17 +53,38 @@ void Handle::unpin() noexcept {
   pinned_ = false;
 }
 
+void Handle::push_retired(Bin& bin, Retired r) {
+  Chunk* chunk = bin.chunks;
+  if (chunk == nullptr || chunk->count == Chunk::kCapacity) {
+    chunk = static_cast<Chunk*>(util::Pool::allocate(pool_, sizeof(Chunk)));
+    chunk->next = bin.chunks;
+    chunk->count = 0;
+    bin.chunks = chunk;
+  }
+  chunk->items[chunk->count++] = r;
+}
+
+void Handle::free_bin(Bin& bin) {
+  Chunk* chunk = bin.chunks;
+  bin.chunks = nullptr;
+  while (chunk != nullptr) {
+    for (std::uint32_t i = 0; i < chunk->count; ++i) chunk->items[i].deleter(chunk->items[i].ptr);
+    Chunk* next = chunk->next;
+    util::Pool::deallocate(chunk);
+    chunk = next;
+  }
+}
+
 void Handle::retire(void* ptr, void (*deleter)(void*)) {
   const std::uint64_t e = domain_->global_epoch_.load(std::memory_order_acquire);
   Bin& bin = bins_[e % bins_.size()];
   if (bin.epoch != e) {
     // The bin was last used at e - 3k (k >= 1), i.e. at least two epochs
     // ago: its contents are unreachable by any pinned thread.
-    for (const Retired& r : bin.items) r.deleter(r.ptr);
-    bin.items.clear();
+    free_bin(bin);
     bin.epoch = e;
   }
-  bin.items.push_back(Retired{ptr, deleter});
+  push_retired(bin, Retired{ptr, deleter});
   if (++retire_count_ % Domain::kAdvanceInterval == 0) {
     domain_->try_advance();
     collect(domain_->global_epoch_.load(std::memory_order_acquire));
@@ -67,16 +93,15 @@ void Handle::retire(void* ptr, void (*deleter)(void*)) {
 
 void Handle::collect(std::uint64_t global_epoch) {
   for (Bin& bin : bins_) {
-    if (!bin.items.empty() && bin.epoch + 2 <= global_epoch) {
-      for (const Retired& r : bin.items) r.deleter(r.ptr);
-      bin.items.clear();
-    }
+    if (bin.chunks != nullptr && bin.epoch + 2 <= global_epoch) free_bin(bin);
   }
 }
 
 std::size_t Handle::pending() const noexcept {
   std::size_t n = 0;
-  for (const Bin& bin : bins_) n += bin.items.size();
+  for (const Bin& bin : bins_) {
+    for (const Chunk* c = bin.chunks; c != nullptr; c = c->next) n += c->count;
+  }
   return n;
 }
 
@@ -123,8 +148,14 @@ void Domain::release_slot(unsigned slot, std::array<Handle::Bin, 3>&& bins) {
   {
     std::lock_guard<std::mutex> lock(orphan_mutex_);
     for (Handle::Bin& bin : bins) {
-      orphans_.insert(orphans_.end(), bin.items.begin(), bin.items.end());
-      bin.items.clear();
+      Handle::Chunk* chunk = bin.chunks;
+      bin.chunks = nullptr;
+      while (chunk != nullptr) {
+        for (std::uint32_t i = 0; i < chunk->count; ++i) orphans_.push_back(chunk->items[i]);
+        Handle::Chunk* next = chunk->next;
+        util::Pool::deallocate(chunk);
+        chunk = next;
+      }
     }
   }
   slots_[slot]->store(0, std::memory_order_release);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "util/cacheline.hpp"
+#include "util/pool.hpp"
 
 namespace wstm::ebr {
 
@@ -67,6 +68,11 @@ class Handle {
   /// Number of retirements not yet freed through this handle.
   std::size_t pending() const noexcept;
 
+  /// Route retire-list chunks through `pool` (see util/pool.hpp) instead of
+  /// the global allocator. Optional; null keeps per-chunk global allocations
+  /// (still amortized over Chunk::kCapacity retirements).
+  void set_pool(util::Pool* pool) noexcept { pool_ = pool; }
+
   /// Detach from the domain; pending garbage is handed to the domain and
   /// freed at domain destruction or quiescent drain.
   void detach();
@@ -75,17 +81,31 @@ class Handle {
   friend class Domain;
   Handle(Domain* domain, unsigned slot) noexcept : domain_(domain), slot_(slot) {}
 
-  struct Bin {
-    std::uint64_t epoch = 0;
-    std::vector<Retired> items;
+  /// Fixed-capacity retirement batch. Retired nodes are tracked in chunks
+  /// (not per-node heap records) so the steady-state retire path allocates
+  /// once per kCapacity nodes, from the recycling pool.
+  struct Chunk {
+    static constexpr std::uint32_t kCapacity = 63;  // block is exactly 1 KiB
+    Chunk* next;
+    std::uint32_t count;
+    Retired items[kCapacity];
   };
 
+  struct Bin {
+    std::uint64_t epoch = 0;
+    Chunk* chunks = nullptr;
+  };
+
+  void push_retired(Bin& bin, Retired r);
+  /// Runs the deleters of everything in `bin` and recycles its chunks.
+  void free_bin(Bin& bin);
   void collect(std::uint64_t global_epoch);
 
   Domain* domain_ = nullptr;
   unsigned slot_ = 0;
   bool pinned_ = false;
   unsigned retire_count_ = 0;
+  util::Pool* pool_ = nullptr;
   std::array<Bin, 3> bins_{};
 };
 

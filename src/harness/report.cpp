@@ -52,6 +52,7 @@ void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
                "interleaving on undersubscribed hosts; -1 = auto",
                static_cast<std::int64_t>(-1));
   cli.add_flag("visible-reads", "visible (paper) vs invisible (validated) reads", true);
+  cli.add_flag("pooling", "recycle TxDesc/Locator/clone blocks through thread pools", true);
   cli.add_flag("validate", "check structure invariants after each run", true);
   cli.add_flag("csv", "emit CSV instead of aligned tables", false);
   cli.add_flag("trace",
@@ -72,6 +73,7 @@ MatrixSpec matrix_from_cli(const Cli& cli) {
   spec.base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   spec.base.preempt_permille = static_cast<std::int32_t>(cli.get_int("preempt-permille"));
   spec.base.visible_reads = cli.get_bool("visible-reads");
+  spec.base.pooling = cli.get_bool("pooling");
   spec.base.validate = cli.get_bool("validate");
   spec.repetitions = static_cast<unsigned>(cli.get_int("runs"));
   spec.key_range = cli.get_int("key-range");

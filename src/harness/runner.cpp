@@ -20,6 +20,7 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   stm::RuntimeConfig rt_config;
   rt_config.seed = run.seed;
   rt_config.visible_reads = run.visible_reads;
+  rt_config.pooling = run.pooling;
   if (run.preempt_permille < 0) {
     rt_config.preempt_yield_permille = hardware_cpus() < run.threads ? 25 : 0;
   } else {

@@ -35,6 +35,10 @@ struct RunConfig {
   /// Read mode (see stm::RuntimeConfig::visible_reads). The paper used
   /// visible reads; invisible trades reader bitmaps for validation.
   bool visible_reads = true;
+  /// Recycle protocol metadata through per-thread pools (see
+  /// stm::RuntimeConfig::pooling). Off reproduces the allocator-bound
+  /// pre-pooling numbers for overhead comparisons.
+  bool pooling = true;
   /// When non-empty, record transaction events during the measured interval
   /// and write them here after the run: Chrome trace_event JSON if the path
   /// ends in ".json", the compact binary format otherwise (read it back

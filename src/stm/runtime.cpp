@@ -2,6 +2,7 @@
 // protocol overview and DESIGN.md §5 for the consistency argument.
 #include "stm/runtime.hpp"
 
+#include <new>
 #include <stdexcept>
 #include <thread>
 
@@ -22,8 +23,11 @@ Runtime::Runtime(cm::ManagerPtr manager, Config config)
 }
 
 Runtime::~Runtime() {
+  std::lock_guard<std::mutex> lock(attach_mutex_);
   for (unsigned i = 0; i < kMaxThreads; ++i) {
-    if (threads_[i]) detach_thread(*threads_[i]);
+    // detach_locked skips contexts the caller already detached (the slot
+    // array only holds live ones, so no double handling is possible).
+    if (threads_[i]) detach_locked(*threads_[i]);
   }
 }
 
@@ -34,6 +38,10 @@ ThreadCtx& Runtime::attach_thread() {
     if (slot_used_[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
       const std::uint64_t seed = config_.seed * 0x9e3779b97f4a7c15ULL + i + 1;
       threads_[i].reset(new ThreadCtx(this, i, ebr_.attach(), seed));
+      if (config_.pooling) {
+        threads_[i]->pool_ = util::Pool::acquire();
+        threads_[i]->ebr_.set_pool(threads_[i]->pool_);
+      }
       return *threads_[i];
     }
   }
@@ -41,23 +49,42 @@ ThreadCtx& Runtime::attach_thread() {
 }
 
 void Runtime::detach_thread(ThreadCtx& tc) {
+  std::lock_guard<std::mutex> lock(attach_mutex_);
+  detach_locked(tc);
+}
+
+void Runtime::detach_locked(ThreadCtx& tc) {
   const unsigned slot = tc.slot_;
+  // Idempotence: a second detach of the same context (or a detach racing
+  // the destructor) must not touch a slot that has moved on.
+  if (tc.detached_ || threads_[slot].get() != &tc) return;
   // Drop the published descriptor's slot reference (no enemy can be pinned
   // on it once this thread has stopped running transactions and the caller
   // serializes detach with workload completion).
   TxDesc* prev = current_tx_[slot]->exchange(nullptr, std::memory_order_acq_rel);
   if (prev != nullptr) prev->release();
-  threads_[slot].reset();
+  tc.detached_ = true;
+  // Release the EBR slot now (pending garbage moves to the domain) and park
+  // the pool for the next attacher; the context itself is retired, not
+  // destroyed, so stale references stay valid until Runtime teardown.
+  tc.ebr_.detach();
+  if (tc.pool_ != nullptr) {
+    util::Pool::park(tc.pool_);
+    tc.pool_ = nullptr;
+  }
+  retired_threads_.push_back(std::move(threads_[slot]));
   slot_used_[slot].store(false, std::memory_order_release);
 }
 
 TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_retry) {
   tc.ebr_.pin();
 
-  auto* desc = new TxDesc();
+  auto* desc = new (util::Pool::allocate(tc.pool_, sizeof(TxDesc))) TxDesc();
   desc->thread_slot = tc.slot_;
   desc->serial = ++tc.serial_;
-  desc->begin_ns = now_ns();
+  // First attempts reuse the timestamp atomically() just took; only retries
+  // need a fresh clock read.
+  desc->begin_ns = is_retry ? now_ns() : first_begin;
   desc->first_begin_ns = first_begin;
 
   // Publish: one reference for the slot pointer (released via EBR when the
@@ -108,18 +135,22 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
   tc.read_set_.clear();
   tc.invis_reads_.clear();
 
-  const std::int64_t elapsed = now_ns() - desc->begin_ns;
+  // One clock read serves elapsed-time and response-time accounting (and
+  // the trace event) — now_ns() is a measurable cost at millions of
+  // attempts per second.
+  const std::int64_t end_ns = now_ns();
+  const std::int64_t elapsed = end_ns - desc->begin_ns;
   if (committed) {
     for (const auto& r : tc.commit_retires_) tc.ebr_.retire(r.ptr, r.deleter);
     tc.commit_retires_.clear();
     tc.allocs_.clear();  // ownership passed to the data structure
     tc.metrics_.commits++;
     tc.metrics_.committed_ns += elapsed;
-    tc.metrics_.response_ns += now_ns() - desc->first_begin_ns;
+    tc.metrics_.response_ns += end_ns - desc->first_begin_ns;
     if (trace::Recorder* rec = config_.recorder) {
       rec->record(tc.slot_, trace::EventKind::kCommit, desc->serial, 0, trace::kNoEnemy,
                   static_cast<std::uint64_t>(elapsed),
-                  static_cast<std::uint64_t>(now_ns() - desc->first_begin_ns));
+                  static_cast<std::uint64_t>(end_ns - desc->first_begin_ns));
     }
     manager_->on_commit(tc, *desc);
   } else {
@@ -341,7 +372,9 @@ void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
       }
     }
 
-    auto* fresh = new Locator{me, current, obj.clone_(current), nullptr, obj.destroy_};
+    void* clone = obj.make_clone(tc.pool_, current);
+    auto* fresh = new (util::Pool::allocate(tc.pool_, sizeof(Locator)))
+        Locator{me, current, clone, nullptr, obj.destroy_};
     me->add_ref();
     if (obj.loc_.compare_exchange_strong(l, fresh, std::memory_order_seq_cst)) {
       // `l` is now unreachable for new opens; readers pinned in EBR may
@@ -359,7 +392,7 @@ void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
     }
     // Lost the install race; roll back the speculative locator.
     obj.destroy_(fresh->new_version);
-    delete fresh;
+    util::Pool::deallocate(fresh);
     me->release();
   }
 }

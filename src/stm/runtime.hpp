@@ -34,6 +34,7 @@
 #include "stm/tobject.hpp"
 #include "stm/tx.hpp"
 #include "util/cacheline.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "util/timing.hpp"
 
@@ -75,6 +76,11 @@ class ThreadCtx {
   unsigned slot_;
   ebr::Handle ebr_;
   Xoshiro256 rng_;
+  /// Slab pool for TxDesc/Locator/clone blocks (null when
+  /// RuntimeConfig::pooling is off → per-object global allocations).
+  util::Pool* pool_ = nullptr;
+  /// Set once by detach_thread; makes a second detach a safe no-op.
+  bool detached_ = false;
   TxDesc* current_ = nullptr;
   std::uint64_t serial_ = 0;
   ThreadMetrics metrics_;
@@ -160,6 +166,13 @@ struct RuntimeConfig {
   /// disables tracing: every instrumentation site then costs one
   /// predictable null-pointer branch. See trace/recorder.hpp.
   trace::Recorder* recorder = nullptr;
+
+  /// Recycle TxDesc/Locator/version-clone blocks and EBR retire chunks
+  /// through per-thread slab pools (util/pool.hpp), making the steady-state
+  /// attempt allocation-free. Off = one global allocation per protocol
+  /// object (the pre-pooling behavior), kept selectable so figures can
+  /// report both sides of the ablation.
+  bool pooling = true;
 };
 
 class Runtime {
@@ -174,9 +187,15 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Claims a thread slot. The returned context stays valid until
-  /// detach_thread (or Runtime destruction).
+  /// Claims a thread slot. The returned context stays valid until the
+  /// Runtime is destroyed (detach_thread retires it but does not free it,
+  /// so a stale reference cannot dangle).
   ThreadCtx& attach_thread();
+  /// Releases `tc`'s slot for reuse and drops its published descriptor.
+  /// Idempotent: detaching an already-detached context is a no-op, and the
+  /// destructor skips contexts that were detached explicitly. The context's
+  /// metrics leave the total_metrics() sum at this point (callers aggregate
+  /// before detaching, as the harness does).
   void detach_thread(ThreadCtx& tc);
 
   cm::ContentionManager& manager() noexcept { return *manager_; }
@@ -264,11 +283,17 @@ class Runtime {
 
   void cleanup_attempt(ThreadCtx& tc, bool committed);
 
+  /// detach_thread body; requires attach_mutex_ held.
+  void detach_locked(ThreadCtx& tc);
+
   cm::ManagerPtr manager_;
   Config config_;
   ebr::Domain ebr_;
   std::array<CacheAligned<std::atomic<TxDesc*>>, kMaxThreads> current_tx_{};
   std::array<std::unique_ptr<ThreadCtx>, kMaxThreads> threads_{};
+  /// Detached contexts, kept until Runtime destruction so references held by
+  /// callers (and a double detach_thread) stay safe after the slot recycles.
+  std::vector<std::unique_ptr<ThreadCtx>> retired_threads_;
   std::array<std::atomic<bool>, kMaxThreads> slot_used_{};
   mutable std::mutex attach_mutex_;
 };

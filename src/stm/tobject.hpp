@@ -23,18 +23,21 @@
 
 #include <atomic>
 #include <cstdint>
+#include <new>
 #include <utility>
 
 #include "stm/fwd.hpp"
 #include "stm/tx.hpp"
+#include "util/pool.hpp"
 
 namespace wstm::stm {
 
 class Tx;
 
-/// Type-erased locator. Immutable after installation except for
-/// `dead_version`, written exactly once by the (single) replacing writer
-/// just before the locator is retired; concurrent readers never touch it.
+/// Type-erased locator. Lives in a pool block (see util/pool.hpp); immutable
+/// after installation except for `dead_version`, written exactly once by the
+/// (single) replacing writer just before the locator is retired; concurrent
+/// readers never touch it.
 struct Locator {
   TxDesc* owner;        // nullptr for the initial "stable" locator
   void* old_version;    // committed version before `owner` (may be null)
@@ -42,7 +45,8 @@ struct Locator {
   void* dead_version;   // set by the replacer: the version that lost
   void (*destroy)(void*);
 
-  /// EBR deleter: frees the superseded version and drops the owner ref.
+  /// EBR deleter: frees the superseded version, drops the owner ref, and
+  /// recycles the locator's block.
   static void reclaim(void* locator_ptr);
 };
 
@@ -51,14 +55,21 @@ struct Locator {
 /// the locator chain head and the visible-reader bitmap.
 class TObjectBase {
  public:
-  using CloneFn = void* (*)(const void*);
+  /// Clones `src` into a block of `pool` (nullptr → global allocation); the
+  /// result must be freed with `destroy`.
+  using CloneFn = void* (*)(const void* src, util::Pool* pool);
   using DestroyFn = void (*)(void*);
 
-  /// Takes ownership of `initial_version` (heap-allocated payload).
-  TObjectBase(void* initial_version, CloneFn clone, DestroyFn destroy)
-      : loc_(new Locator{nullptr, nullptr, initial_version, nullptr, destroy}),
+  /// Takes ownership of `initial_version` (a pool_new-style headered block).
+  /// `payload_size` is sizeof the concrete payload — the size-class hint
+  /// that lets the runtime route clones through the per-thread pools.
+  TObjectBase(void* initial_version, CloneFn clone, DestroyFn destroy,
+              std::uint32_t payload_size)
+      : loc_(util::pool_new<Locator>(
+            nullptr, Locator{nullptr, nullptr, initial_version, nullptr, destroy})),
         clone_(clone),
-        destroy_(destroy) {}
+        destroy_(destroy),
+        payload_size_(payload_size) {}
 
   /// Must only run at quiescence (e.g. after EBR grace for an unlinked
   /// node): frees the installed locator and every surviving version.
@@ -67,7 +78,7 @@ class TObjectBase {
     if (l->owner != nullptr) l->owner->release();
     if (l->old_version != nullptr) destroy_(l->old_version);
     if (l->new_version != nullptr) destroy_(l->new_version);
-    delete l;
+    util::Pool::deallocate(l);
   }
 
   TObjectBase(const TObjectBase&) = delete;
@@ -87,10 +98,18 @@ class TObjectBase {
   friend class Runtime;
   friend class Tx;
 
+  /// Clone for acquisition: pooled when the payload fits a size class,
+  /// global pass-through otherwise (the hint keeps oversize payloads off the
+  /// pool path without a per-clone branch in the template).
+  void* make_clone(util::Pool* pool, const void* src) const {
+    return clone_(src, payload_size_ <= util::Pool::kMaxBlock ? pool : nullptr);
+  }
+
   std::atomic<Locator*> loc_;
   std::atomic<std::uint64_t> readers_{0};
   CloneFn clone_;
   DestroyFn destroy_;
+  std::uint32_t payload_size_;
 };
 
 /// Typed transactional object. T must be copy-constructible (clone-on-write).
@@ -99,7 +118,8 @@ class TObject : public TObjectBase {
  public:
   template <typename... Args>
   explicit TObject(Args&&... args)
-      : TObjectBase(new T(std::forward<Args>(args)...), &clone_impl, &destroy_impl) {}
+      : TObjectBase(util::pool_new<T>(nullptr, std::forward<Args>(args)...), &clone_impl,
+                    &destroy_impl, static_cast<std::uint32_t>(sizeof(T))) {}
 
   /// Opens for reading inside `tx`; the returned snapshot is valid for the
   /// duration of the transaction attempt.
@@ -112,8 +132,13 @@ class TObject : public TObjectBase {
   const T* peek() const noexcept { return static_cast<const T*>(quiescent_version()); }
 
  private:
-  static void* clone_impl(const void* p) { return new T(*static_cast<const T*>(p)); }
-  static void destroy_impl(void* p) { delete static_cast<T*>(p); }
+  static void* clone_impl(const void* p, util::Pool* pool) {
+    return util::pool_new<T>(pool, *static_cast<const T*>(p));
+  }
+  static void destroy_impl(void* p) {
+    static_cast<T*>(p)->~T();
+    util::Pool::deallocate(p);
+  }
 };
 
 }  // namespace wstm::stm

@@ -6,7 +6,7 @@ void Locator::reclaim(void* locator_ptr) {
   auto* l = static_cast<Locator*>(locator_ptr);
   if (l->dead_version != nullptr) l->destroy(l->dead_version);
   if (l->owner != nullptr) l->owner->release();
-  delete l;
+  util::Pool::deallocate(l);
 }
 
 }  // namespace wstm::stm

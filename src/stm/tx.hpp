@@ -1,11 +1,12 @@
 // Transaction descriptors.
 //
-// A TxDesc is allocated fresh for every attempt (like DSTM's per-attempt
-// Transaction objects) and is shared state: locators point at it, and enemy
-// threads read/CAS its status and read its priority fields. It is reclaimed
-// by reference count — one reference held by the executing thread for the
-// duration of the attempt, plus one per locator that names it as owner
-// (dropped when the locator itself is reclaimed through EBR).
+// A TxDesc is allocated per attempt (like DSTM's per-attempt Transaction
+// objects) out of the owning thread's pool and is shared state: locators
+// point at it, and enemy threads read/CAS its status and read its priority
+// fields. It is reclaimed by reference count — one reference held by the
+// executing thread for the duration of the attempt, plus one per locator
+// that names it as owner (dropped when the locator itself is reclaimed
+// through EBR) — and recycled through the pool when the count hits zero.
 #pragma once
 
 #include <atomic>
@@ -13,6 +14,7 @@
 
 #include "stm/fwd.hpp"
 #include "util/cacheline.hpp"
+#include "util/pool.hpp"
 
 namespace wstm::stm {
 
@@ -55,9 +57,15 @@ struct alignas(kCacheLine) TxDesc {
 
   void add_ref() noexcept { refs.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Drops one reference; deletes the descriptor when it was the last.
+  /// Drops one reference; recycles the descriptor's block when it was the
+  /// last. Runtime-created descriptors live in pool blocks (see
+  /// Runtime::begin_attempt); a remote release routes the block back to the
+  /// owning thread's pool through its remote-free stack.
   void release() noexcept {
-    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      this->~TxDesc();
+      util::Pool::deallocate(this);
+    }
   }
 
   bool is_active() const noexcept {

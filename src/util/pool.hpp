@@ -1,0 +1,275 @@
+// Thread-local slab/freelist pools for protocol metadata.
+//
+// The DSTM hot path creates and destroys three short-lived objects per write
+// (TxDesc, Locator, payload clone) plus EBR retire-list chunks. Routing them
+// through the global allocator serializes every thread on the malloc arena
+// locks at exactly the thread counts the figures sweep; these pools make the
+// steady-state attempt allocation-free instead.
+//
+// Layout: every allocation is a *headered block* — one cache line of header
+// followed by the 64-byte-aligned payload. The header names the owning pool
+// and the size class, so `Pool::deallocate(payload)` works from any thread
+// and any context (EBR deleters, destructors) without carrying a pool
+// pointer around:
+//
+//   * freeing thread == owning thread  → plain push onto the pool's intrusive
+//     per-class free list (no atomics);
+//   * any other thread                 → CAS-push onto the pool's lock-free
+//     remote-free (Treiber) stack, drained wholesale by the owner on its next
+//     free-list miss (push-only + exchange(nullptr) pop ⇒ no ABA);
+//   * owner == nullptr                 → the block came straight from
+//     ::operator new (pool-less call sites, oversize payloads); freed there.
+//
+// Lifetime: pools are owned by a process-wide registry and are only ever
+// *parked* (returned for reuse by the next attaching thread), never deleted
+// until process exit. Blocks may therefore safely outlive the Runtime and
+// the thread that allocated them — a committed version clone lives inside a
+// TObject until the structure drops it, long after the cloning transaction's
+// thread detached. The one rule this leaves: transactional objects must not
+// have static storage duration (their destructor could then run after the
+// registry's).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace wstm::util {
+
+class Pool {
+ public:
+  /// Alignment of every payload (and of the header line before it).
+  static constexpr std::size_t kBlockAlign = kCacheLine;
+  /// One cache line of header precedes each payload.
+  static constexpr std::size_t kHeaderSize = kCacheLine;
+  /// Size classes: 64, 128, 256, 512, 1024, 2048, 4096 bytes.
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kMaxBlock = 4096;
+  static constexpr unsigned kNumClasses = 7;
+  /// Carve granularity for fresh slabs.
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 16;
+
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  ~Pool() {
+    for (void* slab : slabs_) ::operator delete(slab, std::align_val_t{kBlockAlign});
+  }
+
+  /// Allocates `size` bytes, kBlockAlign-aligned. With a pool and a size
+  /// within kMaxBlock this recycles through the pool's free lists; with
+  /// `pool == nullptr` (or oversize) it is a headered pass-through to the
+  /// global allocator. Either way the result is freed with deallocate().
+  static void* allocate(Pool* pool, std::size_t size) {
+    if (pool == nullptr || size > kMaxBlock) return direct_allocate(size);
+    return pool->allocate_local(size);
+  }
+
+  /// Returns a block from allocate() to wherever it came from. Callable from
+  /// any thread; only the owning thread's frees are atomics-free.
+  static void deallocate(void* payload) noexcept {
+    Header* h = header_of(payload);
+    assert(h->magic == kMagic);
+    Pool* owner = h->owner;
+    if (owner == nullptr) {
+      ::operator delete(h, std::align_val_t{kBlockAlign});
+      return;
+    }
+    if (owner->owner_key_.load(std::memory_order_relaxed) == this_thread_key()) {
+      h->next = owner->free_[h->size_class];
+      owner->free_[h->size_class] = h;
+      return;
+    }
+    owner->remote_frees_.fetch_add(1, std::memory_order_relaxed);
+    Header* head = owner->remote_head_->load(std::memory_order_relaxed);
+    do {
+      h->next = head;
+    } while (!owner->remote_head_->compare_exchange_weak(head, h, std::memory_order_release,
+                                                         std::memory_order_relaxed));
+  }
+
+  /// Adopts a parked pool (or creates one) for the calling thread. Only the
+  /// adopting thread may call allocate() on it until it is parked again.
+  static Pool* acquire();
+
+  /// Returns a pool to the registry for reuse. The pool's blocks stay valid;
+  /// subsequent deallocate() calls route through the remote-free stack.
+  static void park(Pool* pool);
+
+  // --- owner-thread statistics (for tests and benches) ---
+
+  /// Blocks carved from slabs (i.e. not satisfied by recycling).
+  std::uint64_t carved() const noexcept { return carved_; }
+  /// Allocations satisfied from a free list.
+  std::uint64_t reused() const noexcept { return reused_; }
+  /// Blocks that came back through the remote-free stack.
+  std::uint64_t remote_freed() const noexcept {
+    return remote_frees_.load(std::memory_order_relaxed);
+  }
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+ private:
+  struct Header {
+    Pool* owner;               // nullptr → direct ::operator new block
+    std::uint32_t size_class;  // index into free_ (meaningless when direct)
+    std::uint32_t magic;       // corruption canary (assert-checked on free)
+    Header* next;              // intrusive link while on a free list
+  };
+  static_assert(sizeof(Header) <= kHeaderSize);
+
+  static constexpr std::uint32_t kMagic = 0x9001beefu;
+
+  static Header* header_of(void* payload) noexcept {
+    return reinterpret_cast<Header*>(static_cast<char*>(payload) - kHeaderSize);
+  }
+  static void* payload_of(Header* h) noexcept {
+    return reinterpret_cast<char*>(h) + kHeaderSize;
+  }
+
+  /// Size class index for `size` (≤ kMaxBlock): smallest power of two ≥ size,
+  /// floored at kMinBlock.
+  static unsigned class_of(std::size_t size) noexcept {
+    if (size <= kMinBlock) return 0;
+    return static_cast<unsigned>(std::bit_width(size - 1)) - 6;
+  }
+  static constexpr std::size_t class_bytes(unsigned cls) noexcept { return kMinBlock << cls; }
+
+  /// A distinct, stable key per live thread (the address of a TLS anchor).
+  static std::uintptr_t this_thread_key() noexcept {
+    static thread_local char anchor;
+    return reinterpret_cast<std::uintptr_t>(&anchor);
+  }
+
+  static void* direct_allocate(std::size_t size) {
+    auto* h = static_cast<Header*>(
+        ::operator new(kHeaderSize + size, std::align_val_t{kBlockAlign}));
+    h->owner = nullptr;
+    h->size_class = 0;
+    h->magic = kMagic;
+    h->next = nullptr;
+    return payload_of(h);
+  }
+
+  void* allocate_local(std::size_t size) {
+    const unsigned cls = class_of(size);
+    Header* h = free_[cls];
+    if (h == nullptr) {
+      drain_remote();
+      h = free_[cls];
+    }
+    if (h != nullptr) {
+      free_[cls] = h->next;
+      ++reused_;
+      return payload_of(h);
+    }
+    return carve(cls);
+  }
+
+  /// Moves everything on the remote-free stack onto the local free lists.
+  void drain_remote() noexcept {
+    Header* h = remote_head_->exchange(nullptr, std::memory_order_acquire);
+    while (h != nullptr) {
+      Header* next = h->next;
+      h->next = free_[h->size_class];
+      free_[h->size_class] = h;
+      ++remote_drained_;
+      h = next;
+    }
+  }
+
+  void* carve(unsigned cls) {
+    const std::size_t stride = kHeaderSize + class_bytes(cls);
+    if (static_cast<std::size_t>(bump_end_ - bump_) < stride) {
+      static_assert(kSlabBytes >= kHeaderSize + kMaxBlock);
+      void* slab = ::operator new(kSlabBytes, std::align_val_t{kBlockAlign});
+      slabs_.push_back(slab);
+      bump_ = static_cast<char*>(slab);
+      bump_end_ = bump_ + kSlabBytes;
+    }
+    auto* h = reinterpret_cast<Header*>(bump_);
+    bump_ += stride;
+    h->owner = this;
+    h->size_class = cls;
+    h->magic = kMagic;
+    h->next = nullptr;
+    ++carved_;
+    return payload_of(h);
+  }
+
+  // --- owner-thread state ---
+  Header* free_[kNumClasses] = {};
+  char* bump_ = nullptr;
+  char* bump_end_ = nullptr;
+  std::vector<void*> slabs_;
+  std::uint64_t carved_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t remote_drained_ = 0;
+
+  // --- shared state (own line: remote frees must not invalidate free_) ---
+  CacheAligned<std::atomic<Header*>> remote_head_{};
+  std::atomic<std::uintptr_t> owner_key_{0};
+  std::atomic<std::uint64_t> remote_frees_{0};
+};
+
+namespace detail {
+struct PoolRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Pool>> all;  // owns every pool ever created
+  std::vector<Pool*> parked;
+
+  static PoolRegistry& instance() {
+    static PoolRegistry registry;
+    return registry;
+  }
+};
+}  // namespace detail
+
+inline Pool* Pool::acquire() {
+  auto& reg = detail::PoolRegistry::instance();
+  Pool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (!reg.parked.empty()) {
+      pool = reg.parked.back();
+      reg.parked.pop_back();
+    } else {
+      reg.all.push_back(std::make_unique<Pool>());
+      pool = reg.all.back().get();
+    }
+  }
+  pool->owner_key_.store(this_thread_key(), std::memory_order_relaxed);
+  return pool;
+}
+
+inline void Pool::park(Pool* pool) {
+  if (pool == nullptr) return;
+  pool->owner_key_.store(0, std::memory_order_relaxed);
+  auto& reg = detail::PoolRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.parked.push_back(pool);
+}
+
+/// Placement-constructs a T in a pool block (deallocate-on-throw). Free with
+/// `p->~T(); Pool::deallocate(p);`.
+template <typename T, typename... Args>
+T* pool_new(Pool* pool, Args&&... args) {
+  static_assert(alignof(T) <= Pool::kBlockAlign);
+  void* mem = Pool::allocate(pool, sizeof(T));
+  try {
+    return ::new (mem) T(std::forward<Args>(args)...);
+  } catch (...) {
+    Pool::deallocate(mem);
+    throw;
+  }
+}
+
+}  // namespace wstm::util

@@ -185,6 +185,38 @@ TEST(StmBasic, SlotExhaustionThrows) {
   EXPECT_NO_THROW(rt->attach_thread());
 }
 
+TEST(StmBasic, DetachThreadTwiceIsSafe) {
+  auto rt = make_runtime();
+  ThreadCtx& tc = rt->attach_thread();
+  TObject<Box> obj(Box{0});
+  rt->atomically(tc, [&](Tx& tx) { obj.open_write(tx)->value = 1; });
+  rt->detach_thread(tc);
+  rt->detach_thread(tc);  // second detach of the same context is a no-op
+  // The slot is reusable, and the retired context stays valid until the
+  // runtime dies (so a stale reference cannot dangle).
+  ThreadCtx& tc2 = rt->attach_thread();
+  rt->atomically(tc2, [&](Tx& tx) { obj.open_write(tx)->value = 2; });
+  EXPECT_EQ(obj.peek()->value, 2);
+  rt->detach_thread(tc2);
+  rt->detach_thread(tc);  // still a no-op after the slot was recycled
+  // Runtime destruction must not double-detach either context.
+}
+
+TEST(StmBasic, PoolingOffMatchesSemantics) {
+  RuntimeConfig cfg;
+  cfg.pooling = false;
+  cm::Params params;
+  params.threads = 4;
+  Runtime rt(cm::make_manager("Aggressive", params), cfg);
+  ThreadCtx& tc = rt.attach_thread();
+  TObject<Box> obj(Box{3});
+  for (int i = 0; i < 100; ++i) {
+    rt.atomically(tc, [&](Tx& tx) { obj.open_write(tx)->value += 1; });
+  }
+  EXPECT_EQ(obj.peek()->value, 103);
+  EXPECT_EQ(rt.total_metrics().commits, 100u);
+}
+
 TEST(StmBasic, SummarizeComputesDerivedMetrics) {
   ThreadMetrics t;
   t.commits = 100;

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Gate on the alloc-pressure microbench output (BENCH_micro.json).
+
+The pooled hot path must be allocation-free in steady state: the
+`BM_AllocPressureWriteTx/1` run (pooling on) reports global-allocator calls
+per transaction attempt via the interposed operator new, and anything above
+the threshold means a TxDesc/Locator/clone/EBR-chunk slipped back onto the
+global allocator.
+
+Usage: check_bench.py BENCH_micro.json [--max-allocs-per-attempt 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--max-allocs-per-attempt", type=float, default=0.5)
+    args = parser.parse_args()
+
+    with open(args.json_path, encoding="utf-8") as f:
+        report = json.load(f)
+
+    pooled = [
+        b
+        for b in report.get("benchmarks", [])
+        if b.get("name", "").startswith("BM_AllocPressureWriteTx/1")
+        and b.get("run_type", "iteration") == "iteration"
+    ]
+    if not pooled:
+        print("check_bench: BM_AllocPressureWriteTx/1 missing from report", file=sys.stderr)
+        return 1
+
+    failed = False
+    for b in pooled:
+        allocs = b.get("allocs_per_attempt")
+        if allocs is None:
+            print(f"check_bench: {b['name']} lacks allocs_per_attempt", file=sys.stderr)
+            failed = True
+            continue
+        verdict = "ok" if allocs <= args.max_allocs_per_attempt else "FAIL"
+        print(
+            f"check_bench: {b['name']}: allocs_per_attempt={allocs:.4f} "
+            f"(limit {args.max_allocs_per_attempt}) {verdict}"
+        )
+        if allocs > args.max_allocs_per_attempt:
+            failed = True
+
+    # Informational: show the malloc baseline and the 8-thread numbers.
+    for b in report.get("benchmarks", []):
+        name = b.get("name", "")
+        if (
+            name.startswith("BM_AllocPressureWriteTx/0")
+            or name.startswith("BM_IntsetWriteHeavy")
+        ) and b.get("run_type", "iteration") == "iteration":
+            allocs = b.get("allocs_per_attempt")
+            if allocs is not None:
+                print(f"check_bench: (info) {name}: allocs_per_attempt={allocs:.4f}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
