@@ -9,6 +9,9 @@
 #include <memory>
 #include <mutex>
 #include <new>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "cm/registry.hpp"
 #include "stm/runtime.hpp"
@@ -21,6 +24,10 @@
 // count exactly how many global-allocator calls the hot path makes. The
 // counter is thread-local so a bench thread observes only its own pressure.
 thread_local std::uint64_t t_alloc_count = 0;
+
+// Base RNG seed for every Runtime these benches construct; --seed=N
+// overrides it (parsed in main before google-benchmark sees argv).
+std::uint64_t g_seed = 0x5eed;
 
 namespace {
 void* counted_alloc(std::size_t size) {
@@ -212,6 +219,7 @@ BENCHMARK(BM_Xoshiro);
 // global-allocator calls per attempt: pooled steady state must be ~0.
 void BM_AllocPressureWriteTx(benchmark::State& state) {
   stm::RuntimeConfig cfg;
+  cfg.seed = g_seed;
   cfg.pooling = state.range(0) != 0;
   cm::Params params;
   params.threads = 1;
@@ -260,6 +268,7 @@ SharedStm& acquire_shared(bool pooling, std::uint32_t threads) {
   if (g_shared_refs++ == 0) {
     auto* s = new SharedStm;
     stm::RuntimeConfig cfg;
+    cfg.seed = g_seed;
     cfg.pooling = pooling;
     cfg.preempt_yield_permille = hardware_cpus() < threads ? 25 : 0;
     cm::Params params;
@@ -315,4 +324,23 @@ BENCHMARK(BM_IntsetWriteHeavy)->Threads(8)->Arg(1)->Arg(0)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark owns argv, so
+// --seed=N is peeled off first and fed to every RuntimeConfig above.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      g_seed = std::stoull(std::string(arg.substr(7)));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The checker: wires a workload, the serialized executor, a policy, and the
+// oracles into one deterministic run, and builds explore / replay / shrink
+// on top of it.
+//
+// One run = one Runtime + one TxIntSet + `threads` virtual worker threads,
+// each executing a pre-generated deterministic op sequence (derived from
+// CheckConfig::seed). After the workers join, two oracles judge the run:
+//
+//  1. the linearizability oracle (history.hpp) over the recorded set
+//     history, with the quiescent contents as the final-state constraint;
+//  2. for window contention managers, trace::ScheduleChecker replays the
+//     recorded trace and asserts the window invariants of paper Section II.
+//
+// Determinism contract: a RunResult's Schedule (config + decision log)
+// replayed through replay() reproduces the identical run — same grants,
+// same history, same verdict — because the executor serializes all workers,
+// the virtual clock removes real time, and every RNG is seeded from config.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/history.hpp"
+#include "check/policy.hpp"
+#include "check/schedule.hpp"
+#include "stm/metrics.hpp"
+
+namespace wstm::check {
+
+struct RunResult {
+  bool violation = false;
+  /// The step budget ran out and the executor free-ran to termination; the
+  /// decision log no longer captures the full interleaving.
+  bool over_budget = false;
+  std::uint64_t steps = 0;
+  std::uint64_t divergences = 0;  // replay runs only
+  std::string diagnosis;          // non-empty iff violation
+  /// The run's config plus the decision log actually executed.
+  Schedule schedule;
+  stm::ThreadMetrics metrics;
+};
+
+struct ExploreResult {
+  unsigned schedules_run = 0;
+  unsigned violations = 0;
+  RunResult first_violation;  // meaningful iff violations > 0
+};
+
+class Checker {
+ public:
+  explicit Checker(CheckConfig config) : config_(std::move(config)) {}
+
+  /// One exploration run. `schedule_seed` seeds only the policy; the
+  /// workload op streams stay fixed by config.seed, so two seeds explore
+  /// two interleavings of the same program.
+  RunResult run_once(std::uint64_t schedule_seed);
+
+  /// Re-executes a recorded schedule bit-identically (same config, decision
+  /// list replayed verbatim; divergences counted in the result).
+  RunResult replay(const Schedule& schedule);
+
+  /// Runs num_schedules policy seeds derived from config.seed.
+  ExploreResult explore(unsigned num_schedules, bool stop_on_violation = true);
+
+  struct ShrinkResult {
+    Schedule schedule;
+    unsigned replays = 0;
+    /// False when the input schedule did not reproduce its violation.
+    bool still_fails = false;
+  };
+  /// Greedy minimization of a failing schedule: drop injected faults, then
+  /// binary-search the shortest failing prefix, then delete single
+  /// decisions. Every kept candidate was re-verified to still fail.
+  ShrinkResult shrink(const Schedule& failing, unsigned max_replays = 500);
+
+  const CheckConfig& config() const noexcept { return config_; }
+
+  /// The policy seed explore() uses for round `index`.
+  static std::uint64_t derive_policy_seed(std::uint64_t base_seed, std::uint64_t index);
+
+ private:
+  RunResult run_with_policy(Policy& policy, const CheckConfig& cfg);
+
+  CheckConfig config_;
+};
+
+}  // namespace wstm::check

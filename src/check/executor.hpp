@@ -1,0 +1,90 @@
+// Serialized cooperative executor: the SchedulerHook implementation.
+//
+// All worker threads funnel through one token. A worker arriving at a
+// schedule point parks (mutex + condvar); the executor asks its Policy which
+// parked thread runs next, logs the decision, advances the virtual clock by
+// one tick, and wakes exactly that thread with the chosen Action. Between
+// two schedule points exactly one worker executes, so the decision log fully
+// determines the interleaving — that is what makes replay bit-identical.
+//
+// Threads that never registered (the main/populate thread, or any thread of
+// a Runtime without this hook installed) pass straight through: on_point
+// keys off a thread_local vid that defaults to "not a virtual thread".
+//
+// Budget exhaustion: after max_steps decisions the executor flips to
+// free-run — every parked thread is released and all further points return
+// kProceed without parking — so a schedule that reaches a livelock-prone
+// region still terminates (nondeterministically, but the run is then
+// reported as over-budget, never as a verdict).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "check/policy.hpp"
+#include "check/schedule.hpp"
+
+namespace wstm::check {
+
+class VirtualExecutor final : public SchedulerHook {
+ public:
+  /// The executor installs the virtual clock (util/timing.hpp) on
+  /// construction and removes it on destruction; at most one may exist at a
+  /// time per process.
+  VirtualExecutor(unsigned num_threads, Policy& policy, std::uint64_t max_steps,
+                  std::int64_t tick_ns);
+  ~VirtualExecutor() override;
+
+  VirtualExecutor(const VirtualExecutor&) = delete;
+  VirtualExecutor& operator=(const VirtualExecutor&) = delete;
+
+  /// Worker-side: adopt virtual thread id `vid` (0-based, unique). Blocks
+  /// until all num_threads workers have registered and the policy grants
+  /// this one its first quantum. On return the caller holds the token; its
+  /// first actions (Runtime::attach_thread, etc.) run in schedule order.
+  void register_thread(int vid);
+
+  /// Worker-side: this virtual thread finished its ops. Releases the token
+  /// permanently; the calling OS thread reverts to pass-through.
+  void thread_done();
+
+  /// Runtime-side (via RuntimeConfig::checker): park, wait for a grant,
+  /// return the granted action.
+  Action on_point(Point p, const void* object) noexcept override;
+
+  const std::vector<Decision>& log() const noexcept { return log_; }
+  std::uint64_t steps() const noexcept { return step_; }
+  /// True once the step budget forced free-running (run verdicts are void).
+  bool over_budget() const noexcept { return free_run_.load(std::memory_order_relaxed); }
+
+ private:
+  enum class State : std::uint8_t { kUnregistered, kWaiting, kRunning, kDone };
+
+  /// Picks and wakes the next thread. Requires mu_ held. No-op when no
+  /// thread is waiting (the last runnable worker just finished).
+  void grant_next_locked();
+  void enter_free_run_locked();
+
+  const unsigned num_threads_;
+  Policy& policy_;
+  const std::uint64_t max_steps_;
+  const std::int64_t tick_ns_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<State> state_;
+  std::vector<Point> parked_;         // valid while kWaiting
+  std::vector<Action> granted_;       // action handed to the last grantee
+  std::vector<std::uint64_t> stalled_until_;  // step before which vid is ineligible
+  unsigned registered_ = 0;
+  int running_ = -1;
+  std::uint64_t step_ = 0;
+  std::vector<Decision> log_;
+  std::atomic<bool> free_run_{false};
+  std::atomic<std::int64_t> vnow_;
+};
+
+}  // namespace wstm::check

@@ -1,0 +1,271 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "structs/sequential_set.hpp"
+
+namespace wstm::check {
+
+const char* op_kind_name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kInsert: return "insert";
+    case OpKind::kRemove: return "remove";
+    case OpKind::kContains: return "contains";
+    case OpKind::kMove: return "move";
+    case OpKind::kPairRead: return "pair-read";
+  }
+  return "?";
+}
+
+std::size_t HistoryRecorder::invoke(int vid, OpKind kind, long a, long b) {
+  std::lock_guard lock(mu_);
+  Op op;
+  op.kind = kind;
+  op.vid = vid;
+  op.a = a;
+  op.b = b;
+  op.invoke = seq_++;
+  ops_.push_back(op);
+  return ops_.size() - 1;
+}
+
+void HistoryRecorder::respond(std::size_t index, bool r0, bool r1) {
+  std::lock_guard lock(mu_);
+  Op& op = ops_[index];
+  op.r0 = r0;
+  op.r1 = r1;
+  op.response = seq_++;
+  op.complete = true;
+}
+
+std::vector<Op> HistoryRecorder::take() noexcept {
+  std::lock_guard lock(mu_);
+  seq_ = 0;
+  return std::move(ops_);
+}
+
+std::uint64_t mask_of(const std::vector<long>& elements) {
+  std::uint64_t m = 0;
+  for (long e : elements) {
+    if (e >= 0 && e < 64) m |= std::uint64_t{1} << e;
+  }
+  return m;
+}
+
+namespace {
+
+constexpr std::uint64_t bit(long key) { return std::uint64_t{1} << key; }
+
+/// Applies `op` to membership mask `s`. Returns false when a *complete*
+/// op's recorded results contradict the sequential semantics in this state
+/// (incomplete ops have no observable results to contradict).
+bool apply_op(const Op& op, std::uint64_t s, std::uint64_t& next) {
+  switch (op.kind) {
+    case OpKind::kInsert: {
+      const bool res = (s & bit(op.a)) == 0;
+      next = s | bit(op.a);
+      return !op.complete || op.r0 == res;
+    }
+    case OpKind::kRemove: {
+      const bool res = (s & bit(op.a)) != 0;
+      next = s & ~bit(op.a);
+      return !op.complete || op.r0 == res;
+    }
+    case OpKind::kContains: {
+      next = s;
+      return !op.complete || op.r0 == ((s & bit(op.a)) != 0);
+    }
+    case OpKind::kMove: {
+      // remove(a) then insert(b), atomically.
+      const bool removed = (s & bit(op.a)) != 0;
+      const std::uint64_t mid = s & ~bit(op.a);
+      const bool inserted = (mid & bit(op.b)) == 0;
+      next = mid | bit(op.b);
+      return !op.complete || (op.r0 == removed && op.r1 == inserted);
+    }
+    case OpKind::kPairRead: {
+      next = s;
+      return !op.complete ||
+             (op.r0 == ((s & bit(op.a)) != 0) && op.r1 == ((s & bit(op.b)) != 0));
+    }
+  }
+  next = s;
+  return false;
+}
+
+/// Exact memo key: the linearized-op bitset words followed by the state.
+std::string memo_key(const std::vector<std::uint64_t>& linearized, std::uint64_t state) {
+  std::string key;
+  key.reserve((linearized.size() + 1) * sizeof(std::uint64_t));
+  for (std::uint64_t w : linearized) {
+    key.append(reinterpret_cast<const char*>(&w), sizeof(w));
+  }
+  key.append(reinterpret_cast<const char*>(&state), sizeof(state));
+  return key;
+}
+
+std::string describe_op(const Op& op, std::size_t index) {
+  std::ostringstream out;
+  out << '#' << index << " vid" << op.vid << ' ' << op_kind_name(op.kind) << '(' << op.a;
+  if (op.kind == OpKind::kMove || op.kind == OpKind::kPairRead) out << ',' << op.b;
+  out << ')';
+  if (op.complete) {
+    out << "->" << (op.r0 ? 'T' : 'F');
+    if (op.kind == OpKind::kMove || op.kind == OpKind::kPairRead) out << (op.r1 ? 'T' : 'F');
+  } else {
+    out << "->?";
+  }
+  out << " [" << op.invoke << ',' << (op.complete ? std::to_string(op.response) : "inf") << ')';
+  return out.str();
+}
+
+class WglSearch {
+ public:
+  WglSearch(const std::vector<Op>& ops, std::uint64_t final_state)
+      : ops_(ops), final_state_(final_state), linearized_((ops.size() + 63) / 64, 0) {
+    complete_count_ = 0;
+    for (const Op& op : ops_) {
+      if (op.complete) ++complete_count_;
+    }
+  }
+
+  bool run(std::uint64_t initial, std::vector<std::size_t>& witness, std::size_t& explored) {
+    const bool ok = search(initial, 0);
+    explored = memo_.size();
+    if (ok) witness = witness_;
+    return ok;
+  }
+
+ private:
+  bool is_linearized(std::size_t i) const {
+    return (linearized_[i / 64] >> (i % 64)) & 1;
+  }
+  void set_linearized(std::size_t i, bool v) {
+    if (v) {
+      linearized_[i / 64] |= std::uint64_t{1} << (i % 64);
+    } else {
+      linearized_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
+  }
+
+  /// An op is a linearization candidate iff no other pending op *responded*
+  /// before it was invoked (real-time order must be preserved).
+  std::uint64_t min_pending_response() const {
+    std::uint64_t min_resp = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (is_linearized(i) || !ops_[i].complete) continue;
+      min_resp = std::min(min_resp, ops_[i].response);
+    }
+    return min_resp;
+  }
+
+  bool search(std::uint64_t state, std::size_t done_complete) {
+    // All observable ops placed: done, unless an incomplete op still needs
+    // to take effect to reach the observed final contents (they are free to
+    // linearize or not, so the loop below keeps trying them).
+    if (done_complete == complete_count_ && state == final_state_) return true;
+    if (!memo_.insert(memo_key(linearized_, state)).second) return false;
+    const std::uint64_t min_resp = min_pending_response();
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (is_linearized(i)) continue;
+      const Op& op = ops_[i];
+      if (op.invoke > min_resp) continue;  // some pending op finished first
+      std::uint64_t next = 0;
+      if (!apply_op(op, state, next)) continue;
+      set_linearized(i, true);
+      witness_.push_back(i);
+      if (search(next, done_complete + (op.complete ? 1 : 0))) return true;
+      witness_.pop_back();
+      set_linearized(i, false);
+    }
+    return false;
+  }
+
+  const std::vector<Op>& ops_;
+  const std::uint64_t final_state_;
+  std::vector<std::uint64_t> linearized_;
+  std::size_t complete_count_ = 0;
+  std::vector<std::size_t> witness_;
+  std::unordered_set<std::string> memo_;
+};
+
+/// Replays the witness through the reference implementation; any mismatch
+/// means the oracle itself is wrong, which we refuse to paper over.
+bool verify_witness(const std::vector<Op>& ops, const std::vector<std::size_t>& witness,
+                    std::uint64_t initial, std::uint64_t final_state, std::string& error) {
+  structs::SequentialSet set;
+  for (long k = 0; k < 64; ++k) {
+    if (initial & bit(k)) set.insert(k);
+  }
+  for (std::size_t index : witness) {
+    const Op& op = ops[index];
+    bool r0 = false, r1 = false;
+    switch (op.kind) {
+      case OpKind::kInsert: r0 = set.insert(op.a); break;
+      case OpKind::kRemove: r0 = set.remove(op.a); break;
+      case OpKind::kContains: r0 = set.contains(op.a); break;
+      case OpKind::kMove:
+        r0 = set.remove(op.a);
+        r1 = set.insert(op.b);
+        break;
+      case OpKind::kPairRead:
+        r0 = set.contains(op.a);
+        r1 = set.contains(op.b);
+        break;
+    }
+    if (op.complete && (r0 != op.r0 || r1 != op.r1)) {
+      error = "witness replay mismatch at " + describe_op(op, index);
+      return false;
+    }
+  }
+  if (mask_of(set.elements()) != final_state) {
+    error = "witness replay does not reach the observed final contents";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LinearizabilityResult check_linearizable(const std::vector<Op>& ops, std::uint64_t initial,
+                                         std::uint64_t final_state, long key_range) {
+  LinearizabilityResult result;
+  if (key_range <= 0 || key_range > 64) {
+    result.diagnosis = "key_range must be in [1, 64] for mask-based checking";
+    return result;
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    const bool b_used = op.kind == OpKind::kMove || op.kind == OpKind::kPairRead;
+    if (op.a < 0 || op.a >= key_range || (b_used && (op.b < 0 || op.b >= key_range))) {
+      result.diagnosis = "op key out of range: " + describe_op(op, i);
+      return result;
+    }
+  }
+  WglSearch search(ops, final_state);
+  std::vector<std::size_t> witness;
+  std::size_t explored = 0;
+  if (!search.run(initial, witness, explored)) {
+    result.states_explored = explored;
+    std::ostringstream out;
+    out << "no legal linearization exists (" << ops.size() << " ops, " << explored
+        << " states explored). History:";
+    for (std::size_t i = 0; i < ops.size(); ++i) out << "\n  " << describe_op(ops[i], i);
+    result.diagnosis = out.str();
+    return result;
+  }
+  std::string error;
+  if (!verify_witness(ops, witness, initial, final_state, error)) {
+    result.diagnosis = "oracle self-check failed: " + error;
+    return result;
+  }
+  result.ok = true;
+  result.witness = std::move(witness);
+  result.states_explored = explored;
+  return result;
+}
+
+}  // namespace wstm::check

@@ -1,0 +1,84 @@
+// Concurrent history recording and the linearizability oracle.
+//
+// Workers record each set operation's invocation and response against a
+// global sequence counter; the oracle then searches for a legal
+// linearization (Wing & Gong's algorithm with the memoized state pruning of
+// Lowe's "Testing for linearizability"): an order consistent with the
+// real-time precedence of the recorded intervals in which every operation's
+// observed results match the sequential set semantics, and which ends in the
+// set contents observed at quiescence. Set states are memoized as one
+// 64-bit membership mask (hence key_range <= 64), so a failed search prefix
+// is never re-explored.
+//
+// The op vocabulary deliberately includes two composite operations — an
+// atomic move(a, b) and an atomic pair-read(a, b) — because single-key ops
+// rarely witness atomicity violations: a stale snapshot shows up as a
+// pair-read observing states from two different moments.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wstm::check {
+
+enum class OpKind : std::uint8_t { kInsert, kRemove, kContains, kMove, kPairRead };
+
+const char* op_kind_name(OpKind k) noexcept;
+
+struct Op {
+  OpKind kind = OpKind::kContains;
+  int vid = 0;
+  long a = 0;
+  long b = 0;  // second key (move / pair-read only)
+  /// Observed results. Single-key ops use r0. move: r0 = removed(a),
+  /// r1 = inserted(b). pair-read: r0 = contains(a), r1 = contains(b).
+  bool r0 = false;
+  bool r1 = false;
+  std::uint64_t invoke = 0;    // global sequence number at invocation
+  std::uint64_t response = 0;  // global sequence number at response
+  bool complete = false;
+};
+
+/// Thread-safe append-only history log. The mutex is uncontended under the
+/// serialized executor (one runnable thread); it exists so the recorder
+/// stays correct if the executor falls into free-run.
+class HistoryRecorder {
+ public:
+  /// Records the invocation; returns the op's index for respond().
+  std::size_t invoke(int vid, OpKind kind, long a, long b = 0);
+  void respond(std::size_t index, bool r0, bool r1 = false);
+
+  /// Quiescent-only.
+  const std::vector<Op>& ops() const noexcept { return ops_; }
+  std::vector<Op> take() noexcept;
+
+ private:
+  std::mutex mu_;
+  std::vector<Op> ops_;
+  std::uint64_t seq_ = 0;
+};
+
+struct LinearizabilityResult {
+  bool ok = false;
+  /// On success: op indices in linearization order (completed ops all
+  /// appear; incomplete ops appear only if linearized).
+  std::vector<std::size_t> witness;
+  /// On failure: human-readable explanation of where the search got stuck.
+  std::string diagnosis;
+  std::size_t states_explored = 0;
+};
+
+/// Membership mask helper: bit k of the mask = key k is in the set.
+std::uint64_t mask_of(const std::vector<long>& elements);
+
+/// Checks the history against sequential set semantics. `initial` and
+/// `final_state` are membership masks (mask_of of the pre/post contents);
+/// key_range must be <= 64. A returned witness is additionally re-verified
+/// op by op through structs::SequentialSet, so an oracle bug cannot
+/// silently bless a bad history.
+LinearizabilityResult check_linearizable(const std::vector<Op>& ops, std::uint64_t initial,
+                                         std::uint64_t final_state, long key_range);
+
+}  // namespace wstm::check

@@ -1,0 +1,111 @@
+#include "check/policy.hpp"
+
+#include <algorithm>
+
+namespace wstm::check {
+namespace {
+
+bool abort_applies(Point p) {
+  return p == Point::kRead || p == Point::kWrite || p == Point::kCas || p == Point::kCommit;
+}
+
+}  // namespace
+
+Choice Policy::roll_faults(int vid, Point p) {
+  Choice c{vid, Action::kProceed, 0};
+  if (!faults_.any()) return c;
+  if (p == Point::kCommit && faults_.p_stall > 0 && rng_.uniform01() < faults_.p_stall) {
+    c.stall_steps = faults_.stall_steps;
+    return c;
+  }
+  if (p == Point::kCas && faults_.p_fail_cas > 0 && rng_.uniform01() < faults_.p_fail_cas) {
+    c.action = Action::kFailCas;
+    return c;
+  }
+  if (abort_applies(p) && faults_.p_abort > 0 && rng_.uniform01() < faults_.p_abort) {
+    c.action = Action::kInjectAbort;
+  }
+  return c;
+}
+
+// ---- RandomWalkPolicy -----------------------------------------------------
+
+Choice RandomWalkPolicy::choose(std::uint64_t /*step*/, const std::vector<int>& eligible,
+                                const std::vector<Point>& points) {
+  const int vid = eligible[rng_.below(eligible.size())];
+  return roll_faults(vid, points[static_cast<std::size_t>(vid)]);
+}
+
+// ---- PctPolicy ------------------------------------------------------------
+
+PctPolicy::PctPolicy(std::uint64_t seed, const FaultOptions& faults, unsigned num_threads,
+                     unsigned depth, std::uint64_t k_estimate)
+    : Policy(seed, faults) {
+  // Random distinct initial priorities: a shuffled [d, d + n). Values below
+  // d are reserved for demotions, so a demoted thread always sinks under
+  // every initial priority.
+  priority_.resize(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) priority_[i] = depth + i;
+  for (unsigned i = num_threads; i > 1; --i) {
+    std::swap(priority_[i - 1], priority_[rng_.below(i)]);
+  }
+  low_water_ = depth;  // demotions hand out depth-1, depth-2, ..., 1
+  const unsigned changes = depth > 0 ? depth - 1 : 0;
+  change_steps_.reserve(changes);
+  for (unsigned i = 0; i < changes; ++i) change_steps_.push_back(rng_.below(k_estimate));
+  std::sort(change_steps_.begin(), change_steps_.end());
+}
+
+Choice PctPolicy::choose(std::uint64_t step, const std::vector<int>& eligible,
+                         const std::vector<Point>& points) {
+  int best = eligible[0];
+  for (int vid : eligible) {
+    if (priority_[static_cast<std::size_t>(vid)] >
+        priority_[static_cast<std::size_t>(best)]) {
+      best = vid;
+    }
+  }
+  if (next_change_ < change_steps_.size() && step >= change_steps_[next_change_]) {
+    ++next_change_;
+    if (low_water_ > 1) --low_water_;
+    priority_[static_cast<std::size_t>(best)] = low_water_;
+    // Re-pick under the demoted priority so the change point takes effect
+    // at this very step, as in the paper's scheduler.
+    for (int vid : eligible) {
+      if (priority_[static_cast<std::size_t>(vid)] >
+          priority_[static_cast<std::size_t>(best)]) {
+        best = vid;
+      }
+    }
+  }
+  return roll_faults(best, points[static_cast<std::size_t>(best)]);
+}
+
+// ---- ReplayPolicy ---------------------------------------------------------
+
+Choice ReplayPolicy::choose(std::uint64_t /*step*/, const std::vector<int>& eligible,
+                            const std::vector<Point>& points) {
+  if (next_ < decisions_.size()) {
+    const Decision& d = decisions_[next_];
+    const int vid = d.vid;
+    const bool parked_there =
+        std::find(eligible.begin(), eligible.end(), vid) != eligible.end() &&
+        points[static_cast<std::size_t>(vid)] == d.point;
+    if (parked_there) {
+      ++next_;
+      last_vid_ = vid;
+      return Choice{vid, d.action, 0};
+    }
+    // Divergence: skip the whole remaining log (mixed replay would only
+    // compound the drift) and fall through to run-to-completion.
+    ++divergences_;
+    next_ = decisions_.size();
+  }
+  int vid = last_vid_;
+  if (std::find(eligible.begin(), eligible.end(), vid) == eligible.end()) vid = eligible[0];
+  last_vid_ = vid;
+  (void)points;
+  return Choice{vid, Action::kProceed, 0};
+}
+
+}  // namespace wstm::check

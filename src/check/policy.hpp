@@ -1,0 +1,101 @@
+// Exploration policies: who runs next, and with which injected fault.
+//
+// The VirtualExecutor serializes all workers and, at every schedule point,
+// asks its Policy to pick one of the parked ("eligible") virtual threads.
+// The policy answers with a Choice: grant vid and resume it with an Action
+// (proceed / inject-abort / fail-CAS), or stall it — leave it parked for
+// `stall_steps` further decisions while others run (stalled-commit
+// injection). Policies are the only source of randomness in a checker run;
+// each is seeded explicitly, so a (policy, seed) pair defines the schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace wstm::check {
+
+struct Choice {
+  int vid = -1;
+  Action action = Action::kProceed;
+  /// When > 0: do not grant `vid`; keep it parked for this many further
+  /// scheduling decisions (the executor then re-asks with it ineligible).
+  std::uint32_t stall_steps = 0;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Picks from `eligible` (non-empty, ascending vids). `points[vid]` is the
+  /// schedule point each thread is parked at.
+  virtual Choice choose(std::uint64_t step, const std::vector<int>& eligible,
+                        const std::vector<Point>& points) = 0;
+
+ protected:
+  Policy(std::uint64_t seed, const FaultOptions& faults) : rng_(seed), faults_(faults) {}
+
+  /// Rolls the fault dice for a thread parked at `p`. Returns a stall as
+  /// Choice{vid, kProceed, stall_steps}; otherwise a grant with the rolled
+  /// action (kProceed when no fault fires or none applies at `p`).
+  Choice roll_faults(int vid, Point p);
+
+  Xoshiro256 rng_;
+  FaultOptions faults_;
+};
+
+/// Uniform random walk: every eligible thread is equally likely at every
+/// step. Good at shallow orderings; the baseline strategy.
+class RandomWalkPolicy final : public Policy {
+ public:
+  RandomWalkPolicy(std::uint64_t seed, const FaultOptions& faults) : Policy(seed, faults) {}
+
+  Choice choose(std::uint64_t step, const std::vector<int>& eligible,
+                const std::vector<Point>& points) override;
+};
+
+/// PCT (Burckhardt et al., ASPLOS 2010): random distinct priorities, run the
+/// highest-priority eligible thread, and at d-1 pre-chosen steps demote the
+/// running thread below everyone else. Finds any bug of depth <= d with
+/// probability >= 1/(n * k^(d-1)).
+class PctPolicy final : public Policy {
+ public:
+  /// `k_estimate` is the a-priori run length used to place change points.
+  PctPolicy(std::uint64_t seed, const FaultOptions& faults, unsigned num_threads, unsigned depth,
+            std::uint64_t k_estimate);
+
+  Choice choose(std::uint64_t step, const std::vector<int>& eligible,
+                const std::vector<Point>& points) override;
+
+ private:
+  std::vector<std::uint64_t> priority_;     // higher value = runs first
+  std::vector<std::uint64_t> change_steps_;  // sorted, ascending
+  std::size_t next_change_ = 0;
+  std::uint64_t low_water_ = 0;  // next demotion priority (counts down)
+};
+
+/// Replays a recorded decision list verbatim. After the list is exhausted —
+/// or on divergence (the recorded thread is not parked where the log says) —
+/// falls back to run-to-completion: keep granting the last thread while it
+/// is eligible, else the lowest vid. Divergence is counted, not fatal, so
+/// shrinking can probe "almost the same" schedules.
+class ReplayPolicy final : public Policy {
+ public:
+  explicit ReplayPolicy(std::vector<Decision> decisions)
+      : Policy(0, FaultOptions{}), decisions_(std::move(decisions)) {}
+
+  Choice choose(std::uint64_t step, const std::vector<int>& eligible,
+                const std::vector<Point>& points) override;
+
+  std::uint64_t divergences() const noexcept { return divergences_; }
+
+ private:
+  std::vector<Decision> decisions_;
+  std::size_t next_ = 0;
+  std::uint64_t divergences_ = 0;
+  int last_vid_ = -1;
+};
+
+}  // namespace wstm::check

@@ -32,6 +32,9 @@ struct ThreadMetrics {
   std::int64_t response_ns = 0;
   /// Total attempts whose conflict loop waited at least once.
   std::uint64_t waits = 0;
+  /// Aborts forced by the deterministic checker's fault injector (a subset
+  /// of `aborts`; always 0 outside checker runs).
+  std::uint64_t injected_aborts = 0;
 
   void reset() { *this = ThreadMetrics{}; }
 
@@ -46,6 +49,7 @@ struct ThreadMetrics {
     committed_ns += other.committed_ns;
     response_ns += other.response_ns;
     waits += other.waits;
+    injected_aborts += other.injected_aborts;
     return *this;
   }
 };

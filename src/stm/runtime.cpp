@@ -77,6 +77,7 @@ void Runtime::detach_locked(ThreadCtx& tc) {
 }
 
 TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_retry) {
+  sched_point(check::Point::kBegin);  // no descriptor yet: directives ignored
   tc.ebr_.pin();
 
   auto* desc = new (util::Pool::allocate(tc.pool_, sizeof(TxDesc))) TxDesc();
@@ -105,9 +106,20 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
 
 bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
   TxDesc* desc = tc.current_;
+  if (sched_point(check::Point::kCommit) == check::Action::kInjectAbort) {
+    injected_abort(tc);  // spurious abort at the commit boundary
+  }
   // Invisible reads: the read set must still be current at the commit
   // point (throws TxAbort into the atomically() retry loop on failure).
   if (!config_.visible_reads) validate_reads(tc);
+  if (config_.bugs.blind_commit) [[unlikely]] {
+    // SEEDED BUG: a plain store cannot detect a remote kill that landed
+    // between the last open and here — the enemy already proceeded on our
+    // old version, so "committing" anyway loses the update.
+    desc->status.store(TxStatus::kCommitted, std::memory_order_seq_cst);
+    cleanup_attempt(tc, /*committed=*/true);
+    return true;
+  }
   TxStatus expected = TxStatus::kActive;
   const bool committed = desc->status.compare_exchange_strong(
       expected, TxStatus::kCommitted, std::memory_order_seq_cst);
@@ -121,6 +133,7 @@ bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
 }
 
 void Runtime::finish_attempt_abort(ThreadCtx& tc) {
+  sched_point(check::Point::kAbort);  // visibility only: directives ignored
   TxDesc* desc = tc.current_;
   desc->try_abort();  // may already be aborted (remote kill or restart())
   cleanup_attempt(tc, /*committed=*/false);
@@ -169,7 +182,8 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
         killer = by->thread_slot;
         killer_serial = by->serial;
       }
-      rec->record(tc.slot_, trace::EventKind::kAbort, desc->serial, 0, killer,
+      rec->record(tc.slot_, trace::EventKind::kAbort, desc->serial,
+                  tc.injected_abort_ ? 1 : 0, killer,
                   static_cast<std::uint64_t>(elapsed), killer_serial);
     }
     manager_->on_abort(tc, *desc);
@@ -182,6 +196,7 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
     by->release();
   }
 
+  tc.injected_abort_ = false;
   tc.current_ = nullptr;
   desc->release();  // the executing thread's reference
   tc.ebr_.unpin();
@@ -222,6 +237,12 @@ void Runtime::abort_self(ThreadCtx& tc) {
   throw TxAbort{};
 }
 
+void Runtime::injected_abort(ThreadCtx& tc) {
+  tc.injected_abort_ = true;
+  tc.metrics_.injected_aborts++;
+  abort_self(tc);
+}
+
 const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
   maybe_emulate_preemption(tc);
   if (!config_.visible_reads) return open_read_invisible(tc, obj);
@@ -237,6 +258,9 @@ const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
   }
 
   for (;;) {
+    if (sched_point(check::Point::kRead, &obj) == check::Action::kInjectAbort) {
+      injected_abort(tc);
+    }
     ensure_alive(tc);
     Locator* l = obj.loc_.load(std::memory_order_seq_cst);
     TxDesc* owner = l->owner;
@@ -271,6 +295,9 @@ const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
 const void* Runtime::open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
   TxDesc* me = tc.current_;
   for (;;) {
+    if (sched_point(check::Point::kRead, &obj) == check::Action::kInjectAbort) {
+      injected_abort(tc);
+    }
     ensure_alive(tc);
     Locator* l = obj.loc_.load(std::memory_order_seq_cst);
     TxDesc* owner = l->owner;
@@ -304,7 +331,19 @@ const void* Runtime::open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
     // current, and this object's locator must not have changed while we
     // validated — then the whole read set is a snapshot as of this instant.
     validate_reads(tc);
-    if (obj.loc_.load(std::memory_order_seq_cst) != l) continue;
+    // Schedule point inside the validate→recheck window: this is the exact
+    // preemption the recheck below exists to survive, so the checker must be
+    // able to interleave a writer here.
+    if (sched_point(check::Point::kRead, &obj) == check::Action::kInjectAbort) {
+      injected_abort(tc);
+    }
+    // SEEDED BUG (skip_cas_recheck): dropping the locator recheck lets a
+    // writer slip between the validation above and our use of `version`,
+    // so the read set is no longer a snapshot of one instant.
+    if (!config_.bugs.skip_cas_recheck &&
+        obj.loc_.load(std::memory_order_seq_cst) != l) {
+      continue;
+    }
     // Own acquisitions are protected by ownership, not validation.
     if (owner != me) tc.invis_reads_.push_back({&obj, version});
     manager_->on_open(tc, *me);
@@ -336,6 +375,9 @@ void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
   TxDesc* me = tc.current_;
 
   for (;;) {
+    if (sched_point(check::Point::kWrite, &obj) == check::Action::kInjectAbort) {
+      injected_abort(tc);
+    }
     ensure_alive(tc);
     Locator* l = obj.loc_.load(std::memory_order_seq_cst);
     TxDesc* owner = l->owner;
@@ -376,14 +418,24 @@ void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
     auto* fresh = new (util::Pool::allocate(tc.pool_, sizeof(Locator)))
         Locator{me, current, clone, nullptr, obj.destroy_};
     me->add_ref();
-    if (obj.loc_.compare_exchange_strong(l, fresh, std::memory_order_seq_cst)) {
+    const check::Action cas_act = sched_point(check::Point::kCas, &obj);
+    if (cas_act == check::Action::kInjectAbort) {
+      obj.destroy_(fresh->new_version);
+      util::Pool::deallocate(fresh);
+      me->release();
+      injected_abort(tc);
+    }
+    if (cas_act != check::Action::kFailCas &&
+        obj.loc_.compare_exchange_strong(l, fresh, std::memory_order_seq_cst)) {
       // `l` is now unreachable for new opens; readers pinned in EBR may
       // still hold it, so retire rather than free. The losing version dies
       // with it.
       l->dead_version = dead;
       tc.ebr_.retire(l, &Locator::reclaim);
       if (config_.visible_reads) {
-        resolve_readers(tc, obj);
+        // SEEDED BUG (skip_reader_abort): acquiring without resolving the
+        // visible readers leaves them on snapshots this write supersedes.
+        if (!config_.bugs.skip_reader_abort) resolve_readers(tc, obj);
       } else {
         validate_reads(tc);  // DSTM validates on every open
       }
@@ -405,6 +457,9 @@ void Runtime::resolve_readers(ThreadCtx& tc, TObjectBase& obj) {
     const unsigned slot = static_cast<unsigned>(__builtin_ctzll(bits));
     bits &= bits - 1;
     for (;;) {
+      if (sched_point(check::Point::kReaderResolve, &obj) == check::Action::kInjectAbort) {
+        injected_abort(tc);
+      }
       ensure_alive(tc);
       TxDesc* enemy = tx_of_slot(slot);
       if (enemy == nullptr || enemy == me || !enemy->is_active()) break;

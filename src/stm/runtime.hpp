@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "cm/manager.hpp"
 #include "ebr/ebr.hpp"
 #include "stm/fwd.hpp"
@@ -93,6 +94,9 @@ class ThreadCtx {
   std::vector<TrackedAlloc> allocs_;
   std::vector<TrackedAlloc> commit_retires_;
   bool waited_this_attempt_ = false;
+  /// The current attempt is dying from a checker-injected fault (recorded
+  /// as detail bit0 of the kAbort trace event, then cleared).
+  bool injected_abort_ = false;
   // Identity of the last conflicting enemy attempt (repeat-conflict metric).
   std::uint32_t last_enemy_slot_ = UINT32_MAX;
   std::uint64_t last_enemy_serial_ = 0;
@@ -173,6 +177,30 @@ struct RuntimeConfig {
   /// object (the pre-pooling behavior), kept selectable so figures can
   /// report both sides of the ablation.
   bool pooling = true;
+
+  /// Optional deterministic-checker hook (non-owning; must outlive the
+  /// Runtime). Null disables checking: every schedule point then costs one
+  /// predictable null-pointer branch, mirroring `recorder`. See
+  /// check/hooks.hpp and src/check/executor.hpp.
+  check::SchedulerHook* checker = nullptr;
+
+  /// Deliberately seeded protocol bugs, off by default. They exist so the
+  /// checker (and CI) can prove it finds real abort/commit boundary bugs —
+  /// never enable outside tests. Each one removes a recheck the protocol's
+  /// safety argument depends on.
+  struct DebugFaults {
+    /// Commit with a plain store instead of the Active→Committed CAS,
+    /// skipping the recheck that detects a remote kill between the last
+    /// open and the commit point (lost-update bug).
+    bool blind_commit = false;
+    /// Visible reads: acquire without resolving the reader bitmap, letting
+    /// announced readers keep stale snapshots (atomicity bug).
+    bool skip_reader_abort = false;
+    /// Invisible reads: skip the locator recheck after read-set validation
+    /// in open_read, breaking the snapshot argument (opacity bug).
+    bool skip_cas_recheck = false;
+  };
+  DebugFaults bugs;
 };
 
 class Runtime {
@@ -265,6 +293,19 @@ class Runtime {
   /// Tracing: records the resolved conflict (and a wait event when the
   /// manager chose kRetry). No-op when no recorder is configured.
   void trace_conflict(ThreadCtx& tc, const TxDesc& enemy, ConflictKind kind, Resolution res);
+
+  /// Deterministic-checker schedule point: blocks until the installed hook
+  /// grants this thread the token (no-op without a hook) and returns the
+  /// action to take. Callers handle kInjectAbort/kFailCas where meaningful.
+  check::Action sched_point(check::Point p, const void* obj = nullptr) {
+    check::SchedulerHook* h = config_.checker;
+    if (h == nullptr) [[likely]] return check::Action::kProceed;
+    return h->on_point(p, obj);
+  }
+
+  /// Acts on a kInjectAbort directive: marks the abort as injected (traced
+  /// in the kAbort event detail) and unwinds via abort_self.
+  [[noreturn]] void injected_abort(ThreadCtx& tc);
 
   /// Invisible-read mode: the committed version of `obj` as of now, given
   /// that `me` owns its own acquisitions. Never blocks.

@@ -21,12 +21,38 @@ def main() -> int:
     parser.add_argument("--max-allocs-per-attempt", type=float, default=0.5)
     args = parser.parse_args()
 
-    with open(args.json_path, encoding="utf-8") as f:
-        report = json.load(f)
+    try:
+        with open(args.json_path, encoding="utf-8") as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        print(
+            f"check_bench: {args.json_path}: no such file "
+            "(did the benchmark run produce it? check --benchmark_out)",
+            file=sys.stderr,
+        )
+        return 1
+    except OSError as e:
+        print(f"check_bench: {args.json_path}: cannot read: {e}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(
+            f"check_bench: {args.json_path}: not valid JSON ({e}); "
+            "a truncated file usually means the benchmark was killed mid-run",
+            file=sys.stderr,
+        )
+        return 1
+
+    if not isinstance(report, dict) or not isinstance(report.get("benchmarks"), list):
+        print(
+            f"check_bench: {args.json_path}: no 'benchmarks' array; "
+            "expected Google Benchmark --benchmark_out_format=json output",
+            file=sys.stderr,
+        )
+        return 1
 
     pooled = [
         b
-        for b in report.get("benchmarks", [])
+        for b in report["benchmarks"]
         if b.get("name", "").startswith("BM_AllocPressureWriteTx/1")
         and b.get("run_type", "iteration") == "iteration"
     ]
@@ -36,28 +62,33 @@ def main() -> int:
 
     failed = False
     for b in pooled:
+        name = b.get("name", "<unnamed>")
         allocs = b.get("allocs_per_attempt")
-        if allocs is None:
-            print(f"check_bench: {b['name']} lacks allocs_per_attempt", file=sys.stderr)
+        if not isinstance(allocs, (int, float)):
+            print(
+                f"check_bench: {name} lacks a numeric allocs_per_attempt counter "
+                "(was the bench built with the alloc-interposing micro_stm target?)",
+                file=sys.stderr,
+            )
             failed = True
             continue
         verdict = "ok" if allocs <= args.max_allocs_per_attempt else "FAIL"
         print(
-            f"check_bench: {b['name']}: allocs_per_attempt={allocs:.4f} "
+            f"check_bench: {name}: allocs_per_attempt={allocs:.4f} "
             f"(limit {args.max_allocs_per_attempt}) {verdict}"
         )
         if allocs > args.max_allocs_per_attempt:
             failed = True
 
     # Informational: show the malloc baseline and the 8-thread numbers.
-    for b in report.get("benchmarks", []):
+    for b in report["benchmarks"]:
         name = b.get("name", "")
         if (
             name.startswith("BM_AllocPressureWriteTx/0")
             or name.startswith("BM_IntsetWriteHeavy")
         ) and b.get("run_type", "iteration") == "iteration":
             allocs = b.get("allocs_per_attempt")
-            if allocs is not None:
+            if isinstance(allocs, (int, float)):
                 print(f"check_bench: (info) {name}: allocs_per_attempt={allocs:.4f}")
 
     return 1 if failed else 0
