@@ -115,6 +115,19 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
   rtc.seed = cfg.seed;
   rtc.visible_reads = cfg.visible_reads;
   rtc.bugs = parse_bug(cfg.bug);
+  if (cfg.liveness) {
+    // Checker-friendly liveness: tight thresholds so short runs reach the
+    // serial-fallback level, no real-time sleeps (the executor owns time),
+    // no watchdog thread (the Runtime skips it under a checker anyway),
+    // and no deadline (virtual clocks make wall deadlines meaningless).
+    rtc.liveness.enabled = true;
+    rtc.liveness.backoff_after = 2;
+    rtc.liveness.boost_after = 3;
+    rtc.liveness.serial_after = 4;
+    rtc.liveness.backoff_base_us = 0;
+    rtc.liveness.deadline_ns = 0;
+    rtc.liveness.watchdog_period_ns = 0;
+  }
 
   trace::Recorder recorder(
       {.threads = cfg.threads, .capacity_per_thread = std::size_t{1} << 14});
@@ -175,6 +188,12 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
   rr.over_budget = exec.over_budget();
   rr.schedule.decisions = exec.log();
   rr.metrics = rt.total_metrics();
+  if (const resilience::LivenessManager* lm = rt.liveness()) {
+    const resilience::LivenessManager::Stats ls = lm->stats();
+    rr.token_acquisitions = ls.token_acquisitions;
+    rr.max_token_holders = ls.max_token_holders;
+    rr.token_overlap_violations = ls.token_overlap_violations;
+  }
   if (const auto* rp = dynamic_cast<const ReplayPolicy*>(&policy)) {
     rr.divergences = rp->divergences();
   }

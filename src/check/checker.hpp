@@ -38,6 +38,13 @@ struct RunResult {
   /// The run's config plus the decision log actually executed.
   Schedule schedule;
   stm::ThreadMetrics metrics;
+  /// Serial-fallback token counters (meaningful iff config.liveness):
+  /// how often the token was acquired, the maximum number of simultaneous
+  /// holders ever observed (must be <= 1), and how often an acquire saw
+  /// another holder already inside (must be 0).
+  std::uint64_t token_acquisitions = 0;
+  std::uint64_t max_token_holders = 0;
+  std::uint64_t token_overlap_violations = 0;
 };
 
 struct ExploreResult {

@@ -14,6 +14,10 @@ bool abort_applies(Point p) {
 Choice Policy::roll_faults(int vid, Point p) {
   Choice c{vid, Action::kProceed, 0};
   if (!faults_.any()) return c;
+  if (faults_.p_stall_any > 0 && rng_.uniform01() < faults_.p_stall_any) {
+    c.stall_steps = faults_.stall_steps;
+    return c;
+  }
   if (p == Point::kCommit && faults_.p_stall > 0 && rng_.uniform01() < faults_.p_stall) {
     c.stall_steps = faults_.stall_steps;
     return c;

@@ -100,7 +100,9 @@ std::string to_text(const Schedule& schedule) {
   out << "p_abort " << c.faults.p_abort << '\n';
   out << "p_fail_cas " << c.faults.p_fail_cas << '\n';
   out << "p_stall " << c.faults.p_stall << '\n';
+  out << "p_stall_any " << c.faults.p_stall_any << '\n';
   out << "stall_steps " << c.faults.stall_steps << '\n';
+  out << "liveness " << (c.liveness ? 1 : 0) << '\n';
   out << "bug " << c.bug << '\n';
   for (const Decision& d : schedule.decisions) {
     out << "g " << d.vid << ' ' << point_letter(d.point) << ' ' << action_letter(d.action) << '\n';
@@ -156,7 +158,9 @@ Schedule schedule_from_text(const std::string& text) {
       else if (key == "p_abort") c.faults.p_abort = as_f();
       else if (key == "p_fail_cas") c.faults.p_fail_cas = as_f();
       else if (key == "p_stall") c.faults.p_stall = as_f();
+      else if (key == "p_stall_any") c.faults.p_stall_any = as_f();
       else if (key == "stall_steps") c.faults.stall_steps = as_u32();
+      else if (key == "liveness") c.liveness = sval != "0";
       else if (key == "bug") c.bug = sval;
       else throw std::runtime_error("schedule: unknown key \"" + key + "\" at line " +
                                     std::to_string(lineno));

@@ -46,9 +46,15 @@ struct FaultOptions {
   /// Stalled-commit probability: park the thread at its commit point for
   /// `stall_steps` scheduling decisions while others run.
   double p_stall = 0.0;
+  /// Stall probability at ANY protocol point (read/write/CAS/commit/begin),
+  /// modelling a thread preempted mid-transaction rather than only at
+  /// commit. Exercises the liveness layer's stall detection.
+  double p_stall_any = 0.0;
   std::uint32_t stall_steps = 24;
 
-  bool any() const noexcept { return p_abort > 0 || p_fail_cas > 0 || p_stall > 0; }
+  bool any() const noexcept {
+    return p_abort > 0 || p_fail_cas > 0 || p_stall > 0 || p_stall_any > 0;
+  }
 };
 
 /// Everything needed to rebuild a checker run from scratch. Serialized into
@@ -78,6 +84,12 @@ struct CheckConfig {
   std::uint64_t max_steps = 0;  // scheduling-step budget; 0 = auto
   std::int64_t tick_ns = 1000;  // virtual-clock advance per decision
   std::uint32_t window_n = 8;   // small windows so variants roll over in-run
+  /// Arm the resilience liveness layer (escalation ladder + irrevocable
+  /// serial-fallback token) with checker-friendly settings: tight
+  /// escalation thresholds, no real-time backoff sleeps, no watchdog
+  /// thread, no deadline. Used to verify the single-token invariant under
+  /// schedule exploration.
+  bool liveness = false;
   FaultOptions faults;
   /// Seeded protocol bug to arm (stm::RuntimeConfig::DebugFaults):
   /// none | blind-commit | skip-reader-abort | skip-cas-recheck.

@@ -35,6 +35,30 @@ class ContentionManager {
   virtual stm::Resolution resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
                                   stm::ConflictKind kind) = 0;
 
+  /// Liveness-aware arbitration (src/resilience/): the escalation ladder's
+  /// priority boost overrides any manager policy — a strictly higher boost
+  /// wins the conflict outright, so every manager (all 11 classic CMs and
+  /// the 5 window variants) honors escalation uniformly. Equal boosts
+  /// (including the common 0 vs 0) fall through to the manager's resolve().
+  /// Called by the Runtime only when the liveness layer is enabled.
+  stm::Resolution resolve_with_boost(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDesc& enemy,
+                                     stm::ConflictKind kind) {
+    const std::uint32_t mine = tx.boost.load(std::memory_order_acquire);
+    const std::uint32_t theirs = enemy.boost.load(std::memory_order_acquire);
+    if (mine != theirs) {
+      return mine > theirs ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+    }
+    return resolve(self, tx, enemy, kind);
+  }
+
+  /// The escalation ladder boosted `tx` (level >= 2) for the attempt that
+  /// just began; called after on_begin so managers can adjust per-attempt
+  /// priority state. WindowCM switches the thread to high priority and pins
+  /// its frame; classic managers need nothing beyond the boost field.
+  virtual void on_boost(stm::ThreadCtx& self, stm::TxDesc& tx, std::uint32_t level) {
+    (void)self, (void)tx, (void)level;
+  }
+
   /// A new attempt begins (is_retry = false only for the first attempt of a
   /// logical transaction).
   virtual void on_begin(stm::ThreadCtx& self, stm::TxDesc& tx, bool is_retry) {

@@ -61,6 +61,18 @@ void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
                std::string{});
   cli.add_flag("trace-events", "trace ring capacity per thread",
                static_cast<std::int64_t>(1 << 16));
+  cli.add_flag("watchdog",
+               "enable the liveness layer: starvation watchdog + escalation ladder "
+               "(backoff -> priority boost -> irrevocable serial fallback)",
+               false);
+  cli.add_flag("deadline-ms", "hard per-transaction deadline with --watchdog (0 = none)",
+               static_cast<std::int64_t>(10'000));
+  cli.add_flag("chaos",
+               "inject live faults (thread stalls, spurious aborts, delayed commits, "
+               "EBR pressure); implies nothing about --watchdog, combine them to "
+               "exercise the escalation ladder",
+               false);
+  cli.add_flag("chaos-intensity", "scale factor for --chaos fault probabilities", 1.0);
 }
 
 MatrixSpec matrix_from_cli(const Cli& cli) {
@@ -87,6 +99,13 @@ MatrixSpec matrix_from_cli(const Cli& cli) {
   spec.base.trace_path = cli.get_string("trace");
   spec.base.trace_events_per_thread =
       static_cast<std::size_t>(cli.get_int("trace-events"));
+  if (cli.get_bool("watchdog")) {
+    spec.base.liveness.enabled = true;
+    spec.base.liveness.deadline_ns = cli.get_int("deadline-ms") * 1'000'000;
+  }
+  if (cli.get_bool("chaos")) {
+    spec.base.chaos = resilience::default_chaos(cli.get_double("chaos-intensity"));
+  }
   return spec;
 }
 

@@ -26,6 +26,8 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   } else {
     rt_config.preempt_yield_permille = static_cast<std::uint32_t>(run.preempt_permille);
   }
+  rt_config.liveness = run.liveness;
+  rt_config.chaos = run.chaos;
 
   // The recorder outlives the Runtime (the config holds a raw pointer).
   std::unique_ptr<trace::Recorder> recorder;
@@ -50,6 +52,11 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> committed{0};
 
+  // An exception escaping a worker used to std::terminate the whole
+  // benchmark; instead each worker records its error here (slot i), the
+  // cell fails with a readable report, and the other workers wind down.
+  std::vector<std::string> worker_errors(run.threads);
+
   std::vector<std::thread> workers;
   workers.reserve(run.threads);
   for (std::uint32_t i = 0; i < run.threads; ++i) {
@@ -58,13 +65,22 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
       stm::ThreadCtx& tc = rt.attach_thread();
       Xoshiro256 rng(run.seed * 0x9e3779b97f4a7c15ULL + i + 0xabcd);
       while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
-      while (!stop.load(std::memory_order_acquire)) {
-        workload.run_one(rt, tc, rng);
-        if (run.fixed_commits > 0 &&
-            committed.fetch_add(1, std::memory_order_acq_rel) + 1 >= run.fixed_commits) {
-          stop.store(true, std::memory_order_release);
+      try {
+        while (!stop.load(std::memory_order_acquire)) {
+          workload.run_one(rt, tc, rng);
+          if (run.fixed_commits > 0 &&
+              committed.fetch_add(1, std::memory_order_acq_rel) + 1 >= run.fixed_commits) {
+            stop.store(true, std::memory_order_release);
+          }
         }
+      } catch (const resilience::TxTimeoutError& e) {
+        worker_errors[i] = std::string("TxTimeoutError: ") + e.what();
+      } catch (const std::exception& e) {
+        worker_errors[i] = e.what();
+      } catch (...) {
+        worker_errors[i] = "unknown exception escaped the workload";
       }
+      if (!worker_errors[i].empty()) stop.store(true, std::memory_order_release);
       // ThreadCtx stays attached so the runtime can aggregate its metrics;
       // Runtime teardown detaches it.
     });
@@ -86,10 +102,26 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   result.totals = rt.total_metrics();
   result.elapsed_ns = elapsed;
   result.summary = stm::summarize(result.totals, elapsed);
+  if (const resilience::LivenessManager* lm = rt.liveness()) {
+    result.liveness_stats = lm->stats();
+  }
+  for (std::uint32_t i = 0; i < run.threads; ++i) {
+    if (worker_errors[i].empty()) continue;
+    result.thread_errors.push_back("thread " + std::to_string(i) + ": " + worker_errors[i]);
+  }
+  if (!result.thread_errors.empty()) {
+    result.valid = false;
+    std::string report = std::to_string(result.thread_errors.size()) +
+                         " worker thread(s) died on an exception";
+    for (const std::string& e : result.thread_errors) report += "\n  " + e;
+    result.why = report;
+  }
   if (run.validate) {
     std::string why;
-    result.valid = workload.validate(&why);
-    result.why = why;
+    if (!workload.validate(&why)) {
+      result.valid = false;
+      result.why = result.why.empty() ? why : result.why + "; " + why;
+    }
   }
   if (recorder) {
     // Workers are joined, so drain_sorted() sees every ring quiescent.

@@ -10,9 +10,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cm/registry.hpp"
 #include "harness/workload.hpp"
+#include "resilience/chaos.hpp"
+#include "resilience/liveness.hpp"
 #include "stm/metrics.hpp"
 
 namespace wstm::harness {
@@ -47,6 +50,12 @@ struct RunConfig {
   /// Ring capacity per thread (rounded up to a power of two); when the ring
   /// overflows the oldest events are dropped.
   std::size_t trace_events_per_thread = std::size_t{1} << 16;
+  /// Liveness layer (watchdog + escalation ladder + serial fallback); off
+  /// by default, enabled by the --watchdog flag. See resilience/liveness.hpp.
+  resilience::LivenessConfig liveness;
+  /// Live fault injection; off by default, enabled by --chaos. See
+  /// resilience/chaos.hpp.
+  resilience::ChaosConfig chaos;
 };
 
 struct RunResult {
@@ -55,6 +64,12 @@ struct RunResult {
   std::int64_t elapsed_ns = 0;
   bool valid = true;
   std::string why;
+  /// One entry per worker thread that died on an exception (formatted
+  /// "thread N: what"). Non-empty implies !valid.
+  std::vector<std::string> thread_errors;
+  /// Snapshot of the liveness manager's counters (token acquisitions,
+  /// watchdog detections); all zero when the liveness layer was off.
+  resilience::LivenessManager::Stats liveness_stats;
 };
 
 /// Builds a fresh Runtime with `cm_name` (threads taken from `run`),

@@ -1,0 +1,56 @@
+// Structured liveness errors surfaced out of Runtime::atomically().
+//
+// Both derive from std::runtime_error so harness code that only knows about
+// std::exception still prints something readable, while resilience-aware
+// callers (the benchmark runner, tools/wstm-chaos) can catch the concrete
+// types and report slot/attempt context.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace wstm::resilience {
+
+/// Thrown (instead of retrying forever) when a logical transaction has been
+/// running — across all of its attempts — for longer than
+/// LivenessConfig::deadline_ns. The transaction's side effects have been
+/// rolled back; the operation simply did not happen.
+class TxTimeoutError : public std::runtime_error {
+ public:
+  TxTimeoutError(unsigned slot, std::uint32_t consecutive_aborts, std::int64_t age_ns)
+      : std::runtime_error("transaction deadline exceeded on thread slot " +
+                           std::to_string(slot) + " after " +
+                           std::to_string(consecutive_aborts) + " consecutive aborts (age " +
+                           std::to_string(age_ns / 1000000) + " ms)"),
+        slot_(slot),
+        consecutive_aborts_(consecutive_aborts),
+        age_ns_(age_ns) {}
+
+  unsigned slot() const noexcept { return slot_; }
+  std::uint32_t consecutive_aborts() const noexcept { return consecutive_aborts_; }
+  std::int64_t age_ns() const noexcept { return age_ns_; }
+
+ private:
+  unsigned slot_;
+  std::uint32_t consecutive_aborts_;
+  std::int64_t age_ns_;
+};
+
+/// Thrown by Runtime::atomically() when a new attempt is started after
+/// Runtime::shutdown() has been initiated. Workers should catch this and
+/// exit their work loop; the transaction that threw did not run.
+class RuntimeStoppedError : public std::runtime_error {
+ public:
+  explicit RuntimeStoppedError(unsigned slot)
+      : std::runtime_error("runtime is shutting down; transaction refused on thread slot " +
+                           std::to_string(slot)),
+        slot_(slot) {}
+
+  unsigned slot() const noexcept { return slot_; }
+
+ private:
+  unsigned slot_;
+};
+
+}  // namespace wstm::resilience

@@ -36,6 +36,20 @@ struct ThreadMetrics {
   /// of `aborts`; always 0 outside checker runs).
   std::uint64_t injected_aborts = 0;
 
+  // Liveness layer (src/resilience/); all 0 unless the watchdog/escalation
+  // ladder or chaos injection is enabled on the RuntimeConfig.
+  /// Attempts that started at escalation level >= 1 (backoff or above).
+  std::uint64_t escalations = 0;
+  /// Attempts that ran irrevocably under the serial-fallback token.
+  std::uint64_t serial_fallbacks = 0;
+  /// Logical transactions abandoned with TxTimeoutError.
+  std::uint64_t timeouts = 0;
+  /// Watchdog detections (storm/stall episodes) collected by this thread.
+  std::uint64_t watchdog_flags = 0;
+  /// Chaos faults suffered by this thread (stalls, spurious aborts, delays,
+  /// EBR pressure bursts).
+  std::uint64_t chaos_faults = 0;
+
   void reset() { *this = ThreadMetrics{}; }
 
   ThreadMetrics& operator+=(const ThreadMetrics& other) {
@@ -50,6 +64,11 @@ struct ThreadMetrics {
     response_ns += other.response_ns;
     waits += other.waits;
     injected_aborts += other.injected_aborts;
+    escalations += other.escalations;
+    serial_fallbacks += other.serial_fallbacks;
+    timeouts += other.timeouts;
+    watchdog_flags += other.watchdog_flags;
+    chaos_faults += other.chaos_faults;
     return *this;
   }
 };

@@ -2,6 +2,8 @@
 // protocol overview and DESIGN.md §5 for the consistency argument.
 #include "stm/runtime.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <new>
 #include <stdexcept>
 #include <thread>
@@ -20,15 +22,91 @@ Runtime::Runtime(cm::ManagerPtr manager, Config config)
     : manager_(std::move(manager)), config_(config) {
   if (!manager_) throw std::invalid_argument("Runtime requires a contention manager");
   manager_->attach_recorder(config_.recorder);
+  if (config_.liveness.enabled) {
+    liveness_owned_ = std::make_unique<resilience::LivenessManager>(config_.liveness);
+    liveness_ = liveness_owned_.get();
+    // The monitor thread is a real-time mechanism; under the deterministic
+    // checker it would observe the virtual clock racily and break replay,
+    // so only the worker-driven parts of the ladder run there.
+    if (config_.checker == nullptr && config_.liveness.watchdog_period_ns > 0) {
+      try {
+        // The watchdog dereferences published descriptors when kicking, so
+        // it needs its own EBR slot (workers are then capped at 63). If the
+        // domain is full, detection still runs but kicks are disabled.
+        watchdog_ebr_ = ebr_.attach();
+      } catch (...) {
+      }
+      liveness_->start_watchdog([this](unsigned slot) { watchdog_kick(slot); });
+    }
+  }
+  if (config_.chaos.enabled && config_.checker == nullptr) {
+    chaos_owned_ = std::make_unique<resilience::ChaosInjector>(config_.chaos);
+    chaos_ = chaos_owned_.get();
+  }
 }
 
 Runtime::~Runtime() {
+  // Quiescence-safe teardown: refuse new attempts and drain in-flight ones
+  // (bounded) before the watchdog and the thread registry go away.
+  shutdown();
+  if (liveness_ != nullptr) liveness_->stop_watchdog();
+  if (watchdog_ebr_.attached()) watchdog_ebr_.detach();
   std::lock_guard<std::mutex> lock(attach_mutex_);
   for (unsigned i = 0; i < kMaxThreads; ++i) {
     // detach_locked skips contexts the caller already detached (the slot
     // array only holds live ones, so no double handling is possible).
     if (threads_[i]) detach_locked(*threads_[i]);
   }
+}
+
+void Runtime::shutdown() noexcept {
+  stopping_.store(true, std::memory_order_seq_cst);
+  const std::int64_t deadline = now_ns() + config_.shutdown_drain_timeout_ns;
+  // Kicking stragglers requires dereferencing published descriptors, which
+  // needs an EBR pin; use a scratch handle so shutdown works from any
+  // thread. With all 64 slots taken we only wait (attach throws).
+  ebr::Handle scratch;
+  bool have_scratch = false;
+  try {
+    scratch = ebr_.attach();
+    have_scratch = true;
+  } catch (...) {
+  }
+  for (;;) {
+    bool active = false;
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+      if (attempt_active_[i]->load(std::memory_order_seq_cst) != 0) {
+        active = true;
+        break;
+      }
+    }
+    if (!active) break;
+    if (config_.shutdown_drain_timeout_ns > 0 && now_ns() >= deadline) break;
+    if (have_scratch) {
+      // Abort in-flight stragglers so contention-manager waits unwind into
+      // the retry loop, where the stopping gate turns them into
+      // RuntimeStoppedError. Irrevocable holders refuse the kill and drain
+      // by committing.
+      scratch.pin();
+      for (unsigned i = 0; i < kMaxThreads; ++i) {
+        if (attempt_active_[i]->load(std::memory_order_acquire) == 0) continue;
+        if (TxDesc* d = current_tx_[i]->load(std::memory_order_acquire)) d->try_abort();
+      }
+      scratch.unpin();
+    }
+    std::this_thread::yield();
+  }
+  if (have_scratch) scratch.detach();
+}
+
+void Runtime::watchdog_kick(unsigned slot) {
+  if (!watchdog_ebr_.attached()) return;
+  watchdog_ebr_.pin();
+  // A stalled attempt holds objects open; aborting it lets conflicting
+  // threads proceed, and the victim unwinds at its next schedule point.
+  // try_abort refuses irrevocable holders by itself.
+  if (TxDesc* d = current_tx_[slot]->load(std::memory_order_acquire)) d->try_abort();
+  watchdog_ebr_.unpin();
 }
 
 ThreadCtx& Runtime::attach_thread() {
@@ -76,8 +154,87 @@ void Runtime::detach_locked(ThreadCtx& tc) {
   slot_used_[slot].store(false, std::memory_order_release);
 }
 
+std::uint32_t Runtime::liveness_pre_begin(ThreadCtx& tc, std::int64_t first_begin) {
+  const resilience::LivenessConfig& lc = liveness_->config();
+
+  // Hard deadline across attempts: surface a structured error instead of
+  // retrying forever. The logical transaction ends here; its escalation
+  // state resets so the *next* transaction starts clean.
+  if (lc.deadline_ns > 0) {
+    const std::int64_t age = now_ns() - first_begin;
+    if (age > lc.deadline_ns) {
+      const std::uint32_t aborts = tc.consecutive_aborts_;
+      tc.metrics_.timeouts++;
+      tc.consecutive_aborts_ = 0;
+      tc.escalation_level_ = 0;
+      throw resilience::TxTimeoutError(tc.slot_, aborts, age);
+    }
+  }
+
+  // Collect watchdog detections here so the trace event is recorded by the
+  // ring's owning thread (once the attempt's serial exists).
+  tc.pending_watchdog_flags_ = liveness_->take_flags(tc.slot_);
+  if (tc.pending_watchdog_flags_ != 0) tc.metrics_.watchdog_flags++;
+
+  const std::uint32_t aborts = tc.consecutive_aborts_;
+  std::uint32_t level = 0;
+  if (aborts >= lc.serial_after) {
+    level = 3;
+  } else if (aborts >= lc.boost_after) {
+    level = 2;
+  } else if (aborts >= lc.backoff_after) {
+    level = 1;
+  }
+  tc.escalation_level_ = level;
+  tc.attempt_irrevocable_ = false;
+  if (level == 0) return 0;
+
+  tc.metrics_.escalations++;
+  if (level < 3 && lc.backoff_base_us > 0) {
+    // Capped randomized exponential backoff, drawn from the thread RNG so
+    // seeded runs stay reproducible. Skipped at level 3: the transaction is
+    // about to run serially, delaying it only extends the storm.
+    const std::uint32_t over = aborts - lc.backoff_after;
+    const std::uint64_t cap =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(lc.backoff_base_us)
+                                    << std::min<std::uint32_t>(over, 10),
+                                lc.backoff_cap_us);
+    const std::uint64_t us = tc.rng_.below(cap + 1);
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  if (level >= 3 && liveness_->try_acquire_token(tc.slot_)) {
+    // Token acquisition is strictly non-blocking: a failed CAS means "run
+    // this attempt boosted"; blocking here would deadlock the serialized
+    // deterministic executor (the waiter holds the execution token).
+    tc.attempt_irrevocable_ = true;
+    tc.metrics_.serial_fallbacks++;
+  }
+  return level;
+}
+
 TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_retry) {
   sched_point(check::Point::kBegin);  // no descriptor yet: directives ignored
+
+  // Shutdown gate, Dekker-paired with shutdown(): our seq_cst store of the
+  // active flag is ordered against its seq_cst store of stopping_, so
+  // either we observe stopping_ and refuse, or the drain loop observes our
+  // flag and waits for this attempt to finish.
+  attempt_active_[tc.slot_]->store(1, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) [[unlikely]] {
+    attempt_active_[tc.slot_]->store(0, std::memory_order_release);
+    throw resilience::RuntimeStoppedError(tc.slot_);
+  }
+
+  std::uint32_t level = 0;
+  if (liveness_ != nullptr) {
+    try {
+      level = liveness_pre_begin(tc, first_begin);
+    } catch (...) {
+      attempt_active_[tc.slot_]->store(0, std::memory_order_release);
+      throw;
+    }
+  }
+
   tc.ebr_.pin();
 
   auto* desc = new (util::Pool::allocate(tc.pool_, sizeof(TxDesc))) TxDesc();
@@ -87,6 +244,13 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
   // need a fresh clock read.
   desc->begin_ns = is_retry ? now_ns() : first_begin;
   desc->first_begin_ns = first_begin;
+  if (level > 0) {
+    // Escalation state becomes visible to enemies with the descriptor
+    // itself: both fields are set before the publishing exchange below, so
+    // no enemy ever observes a half-escalated attempt.
+    desc->boost.store(level, std::memory_order_relaxed);
+    if (tc.attempt_irrevocable_) desc->irrevocable.store(true, std::memory_order_relaxed);
+  }
 
   // Publish: one reference for the slot pointer (released via EBR when the
   // next attempt replaces it) plus the constructor's own reference for the
@@ -99,8 +263,30 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
   tc.waited_this_attempt_ = false;
   if (trace::Recorder* rec = config_.recorder) {
     rec->record(tc.slot_, trace::EventKind::kBegin, desc->serial, is_retry ? 1 : 0);
+    if (liveness_ != nullptr) {
+      if (tc.pending_watchdog_flags_ != 0) {
+        rec->record(tc.slot_, trace::EventKind::kWatchdog, desc->serial,
+                    tc.pending_watchdog_flags_, trace::kNoEnemy, tc.consecutive_aborts_,
+                    static_cast<std::uint64_t>(desc->begin_ns - first_begin));
+      }
+      if (level > 0) {
+        rec->record(tc.slot_, trace::EventKind::kEscalate, desc->serial,
+                    static_cast<std::uint8_t>(level), trace::kNoEnemy, tc.consecutive_aborts_);
+      }
+      if (tc.attempt_irrevocable_) {
+        rec->record(tc.slot_, trace::EventKind::kSerialToken, desc->serial, 1);
+      }
+    }
+  }
+  tc.pending_watchdog_flags_ = 0;
+  if (liveness_ != nullptr) {
+    liveness_->note_attempt_begin(tc.slot_, desc->begin_ns, first_begin,
+                                  tc.consecutive_aborts_);
   }
   manager_->on_begin(tc, *desc, is_retry);
+  // After on_begin: the manager resets per-attempt priority state there
+  // (WindowCM redraws pi2 and drops to low), so the boost must land last.
+  if (level >= 2) manager_->on_boost(tc, *desc, level);
   return desc;
 }
 
@@ -112,6 +298,9 @@ bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
   // Invisible reads: the read set must still be current at the commit
   // point (throws TxAbort into the atomically() retry loop on failure).
   if (!config_.visible_reads) validate_reads(tc);
+  // Chaos: delayed commit (sleep between the decision and the status CAS —
+  // the classic window for lost-update bugs) or a spurious late abort.
+  if (chaos_ != nullptr) [[unlikely]] chaos_at_commit(tc);
   if (config_.bugs.blind_commit) [[unlikely]] {
     // SEEDED BUG: a plain store cannot detect a remote kill that landed
     // between the last open and here — the enemy already proceeded on our
@@ -166,6 +355,22 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
                   static_cast<std::uint64_t>(end_ns - desc->first_begin_ns));
     }
     manager_->on_commit(tc, *desc);
+    // Chaos: EBR reclamation pressure — retire a burst of dummy blocks
+    // while still pinned, stressing epoch advancement and the retire-chunk
+    // machinery under concurrent load.
+    if (chaos_ != nullptr) [[unlikely]] {
+      if (const std::uint32_t burst = chaos_->ebr_pressure_due(tc.slot_)) {
+        tc.metrics_.chaos_faults++;
+        for (std::uint32_t i = 0; i < burst; ++i) {
+          tc.ebr_.retire(::operator new(64), [](void* p) { ::operator delete(p); });
+        }
+        if (trace::Recorder* rec = config_.recorder) {
+          rec->record(tc.slot_, trace::EventKind::kChaos, desc->serial,
+                      static_cast<std::uint8_t>(resilience::ChaosInjector::Fault::kEbrPressure),
+                      trace::kNoEnemy, burst);
+        }
+      }
+    }
   } else {
     for (const auto& a : tc.allocs_) a.deleter(a.ptr);
     tc.allocs_.clear();
@@ -196,10 +401,34 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
     by->release();
   }
 
+  // Escalation bookkeeping for the logical transaction (cheap enough to
+  // keep unconditional; only the liveness layer reads it).
+  if (committed) {
+    tc.consecutive_aborts_ = 0;
+    tc.escalation_level_ = 0;
+  } else {
+    tc.consecutive_aborts_++;
+  }
+  if (liveness_ != nullptr) {
+    // The commit path releases the serial-fallback token here; the
+    // self-abort path already demoted in abort_self (enemies cannot kill an
+    // irrevocable attempt, so those are the only two ways out).
+    if (desc->irrevocable.load(std::memory_order_relaxed)) {
+      desc->irrevocable.store(false, std::memory_order_release);
+      liveness_->release_token(tc.slot_);
+      if (trace::Recorder* rec = config_.recorder) {
+        rec->record(tc.slot_, trace::EventKind::kSerialToken, desc->serial, 0);
+      }
+    }
+    tc.attempt_irrevocable_ = false;
+    liveness_->note_attempt_end(tc.slot_, committed);
+  }
+
   tc.injected_abort_ = false;
   tc.current_ = nullptr;
   desc->release();  // the executing thread's reference
   tc.ebr_.unpin();
+  attempt_active_[tc.slot_]->store(0, std::memory_order_release);
 }
 
 void Runtime::maybe_emulate_preemption(ThreadCtx& tc) {
@@ -233,8 +462,79 @@ void Runtime::ensure_alive(ThreadCtx& tc) {
 }
 
 void Runtime::abort_self(ThreadCtx& tc) {
-  tc.current_->try_abort();
+  TxDesc* desc = tc.current_;
+  // Irrevocability means "enemies cannot kill us", not "we cannot fail
+  // ourselves" (invisible-read validation, restart(), injected faults).
+  // Demote first so try_abort goes through and the token frees up.
+  if (liveness_ != nullptr && desc->irrevocable.load(std::memory_order_relaxed)) {
+    desc->irrevocable.store(false, std::memory_order_release);
+    liveness_->release_token(tc.slot_);
+    if (trace::Recorder* rec = config_.recorder) {
+      rec->record(tc.slot_, trace::EventKind::kSerialToken, desc->serial, 0);
+    }
+  }
+  desc->try_abort();
   throw TxAbort{};
+}
+
+Resolution Runtime::arbitrate(ThreadCtx& tc, TxDesc& me, TxDesc& enemy, ConflictKind kind) {
+  if (liveness_ == nullptr) [[likely]] {
+    return manager_->resolve(tc, me, enemy, kind);
+  }
+  // Serial fallback short-circuits every manager policy: the token holder
+  // cannot lose a conflict, and everyone else waits for it. `me` reads its
+  // own flag (owner-written), `enemy` needs acquire.
+  if (me.irrevocable.load(std::memory_order_relaxed)) return Resolution::kAbortEnemy;
+  // The hard deadline is also enforced here: conflict loops (a Greedy-style
+  // kRetry spin, or parking behind the token holder) are the one place an
+  // attempt can wait unboundedly without reaching begin_attempt again.
+  const resilience::LivenessConfig& lc = liveness_->config();
+  if (lc.deadline_ns > 0) {
+    const std::int64_t age = now_ns() - me.first_begin_ns;
+    if (age > lc.deadline_ns) {
+      const std::uint32_t aborts = tc.consecutive_aborts_;
+      tc.metrics_.timeouts++;
+      tc.consecutive_aborts_ = 0;
+      tc.escalation_level_ = 0;
+      // Unwinds through atomically()'s catch(...): finish_attempt_abort
+      // cleans the attempt, then the error reaches the caller.
+      throw resilience::TxTimeoutError(tc.slot_, aborts, age);
+    }
+  }
+  if (enemy.irrevocable.load(std::memory_order_acquire)) {
+    if (config_.checker == nullptr) std::this_thread::yield();
+    return Resolution::kRetry;  // the caller's loop re-examines the enemy
+  }
+  return manager_->resolve_with_boost(tc, me, enemy, kind);
+}
+
+void Runtime::chaos_at_open(ThreadCtx& tc) {
+  const auto inj = chaos_->at_open(tc.rng_);
+  if (inj.fault == resilience::ChaosInjector::Fault::kNone) return;
+  tc.metrics_.chaos_faults++;
+  if (trace::Recorder* rec = config_.recorder) {
+    rec->record(tc.slot_, trace::EventKind::kChaos, tc.current_->serial,
+                static_cast<std::uint8_t>(inj.fault), trace::kNoEnemy, inj.slept_us);
+  }
+  // The serial-fallback holder is exempt from spurious aborts: the token's
+  // contract is that the attempt runs to completion.
+  if (inj.fault == resilience::ChaosInjector::Fault::kSpuriousAbort &&
+      !tc.current_->irrevocable.load(std::memory_order_relaxed)) {
+    abort_self(tc);
+  }
+}
+
+void Runtime::chaos_at_commit(ThreadCtx& tc) {
+  const auto inj = chaos_->at_commit(tc.rng_, tc.attempt_irrevocable_);
+  if (inj.fault == resilience::ChaosInjector::Fault::kNone) return;
+  tc.metrics_.chaos_faults++;
+  if (trace::Recorder* rec = config_.recorder) {
+    rec->record(tc.slot_, trace::EventKind::kChaos, tc.current_->serial,
+                static_cast<std::uint8_t>(inj.fault), trace::kNoEnemy, inj.slept_us);
+  }
+  if (inj.fault == resilience::ChaosInjector::Fault::kSpuriousAbort) {
+    abort_self(tc);  // same unwinding as a failed commit-time validation
+  }
 }
 
 void Runtime::injected_abort(ThreadCtx& tc) {
@@ -245,6 +545,8 @@ void Runtime::injected_abort(ThreadCtx& tc) {
 
 const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
   maybe_emulate_preemption(tc);
+  if (liveness_ != nullptr) liveness_->heartbeat(tc.slot_, now_ns());
+  if (chaos_ != nullptr) [[unlikely]] chaos_at_open(tc);
   if (!config_.visible_reads) return open_read_invisible(tc, obj);
   TxDesc* me = tc.current_;
   const std::uint64_t my_bit = 1ULL << tc.slot_;
@@ -280,7 +582,7 @@ const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
     // Active enemy writer.
     tc.metrics_.rw_conflicts++;
     note_conflict(tc, *owner);
-    const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kReadWrite);
+    const Resolution res = arbitrate(tc, *me, *owner, ConflictKind::kReadWrite);
     trace_conflict(tc, *owner, ConflictKind::kReadWrite, res);
     if (res == Resolution::kAbortEnemy) {
       owner->try_abort();  // loop re-reads; even if it committed we proceed
@@ -315,7 +617,7 @@ const void* Runtime::open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
         // visible path.
         tc.metrics_.rw_conflicts++;
         note_conflict(tc, *owner);
-        const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kReadWrite);
+        const Resolution res = arbitrate(tc, *me, *owner, ConflictKind::kReadWrite);
         trace_conflict(tc, *owner, ConflictKind::kReadWrite, res);
         if (res == Resolution::kAbortEnemy) {
           owner->try_abort();
@@ -372,6 +674,8 @@ void Runtime::validate_reads(ThreadCtx& tc) {
 
 void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
   maybe_emulate_preemption(tc);
+  if (liveness_ != nullptr) liveness_->heartbeat(tc.slot_, now_ns());
+  if (chaos_ != nullptr) [[unlikely]] chaos_at_open(tc);
   TxDesc* me = tc.current_;
 
   for (;;) {
@@ -401,7 +705,7 @@ void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
       } else {
         tc.metrics_.ww_conflicts++;
         note_conflict(tc, *owner);
-        const Resolution res = manager_->resolve(tc, *me, *owner, ConflictKind::kWriteWrite);
+        const Resolution res = arbitrate(tc, *me, *owner, ConflictKind::kWriteWrite);
         trace_conflict(tc, *owner, ConflictKind::kWriteWrite, res);
         if (res == Resolution::kAbortEnemy) {
           owner->try_abort();
@@ -465,7 +769,7 @@ void Runtime::resolve_readers(ThreadCtx& tc, TObjectBase& obj) {
       if (enemy == nullptr || enemy == me || !enemy->is_active()) break;
       tc.metrics_.wr_conflicts++;
       note_conflict(tc, *enemy);
-      const Resolution res = manager_->resolve(tc, *me, *enemy, ConflictKind::kWriteRead);
+      const Resolution res = arbitrate(tc, *me, *enemy, ConflictKind::kWriteRead);
       trace_conflict(tc, *enemy, ConflictKind::kWriteRead, res);
       if (res == Resolution::kAbortEnemy) {
         enemy->try_abort();

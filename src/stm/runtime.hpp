@@ -30,6 +30,9 @@
 #include "check/hooks.hpp"
 #include "cm/manager.hpp"
 #include "ebr/ebr.hpp"
+#include "resilience/chaos.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/liveness.hpp"
 #include "stm/fwd.hpp"
 #include "stm/metrics.hpp"
 #include "stm/tobject.hpp"
@@ -97,9 +100,18 @@ class ThreadCtx {
   /// The current attempt is dying from a checker-injected fault (recorded
   /// as detail bit0 of the kAbort trace event, then cleared).
   bool injected_abort_ = false;
+  /// Watchdog detections collected by liveness_pre_begin, recorded into the
+  /// trace once the attempt's descriptor (and serial) exists.
+  std::uint8_t pending_watchdog_flags_ = 0;
   // Identity of the last conflicting enemy attempt (repeat-conflict metric).
   std::uint32_t last_enemy_slot_ = UINT32_MAX;
   std::uint64_t last_enemy_serial_ = 0;
+  // Liveness escalation state for the in-flight *logical* transaction
+  // (survives attempt retries, reset on commit/timeout). All owner-thread
+  // only; the shared view enemies arbitrate on lives in TxDesc.
+  std::uint32_t consecutive_aborts_ = 0;
+  std::uint32_t escalation_level_ = 0;
+  bool attempt_irrevocable_ = false;
 };
 
 /// Handle passed to the user's transaction body.
@@ -126,10 +138,10 @@ class Tx {
   }
 
   /// Explicitly abort and retry this transaction (e.g. user-level retry).
-  [[noreturn]] void restart() {
-    desc_->try_abort();
-    throw TxAbort{};
-  }
+  /// Routed through Runtime::abort_self so an irrevocable (serial-fallback)
+  /// transaction is demoted and releases the token first. Defined after
+  /// Runtime below.
+  [[noreturn]] void restart();
 
   TxDesc& desc() noexcept { return *desc_; }
   ThreadCtx& thread() noexcept { return *tc_; }
@@ -201,6 +213,22 @@ struct RuntimeConfig {
     bool skip_cas_recheck = false;
   };
   DebugFaults bugs;
+
+  /// Liveness layer (src/resilience/): starvation watchdog + escalation
+  /// ladder + irrevocable serial fallback. Disabled by default; when
+  /// enabled the Runtime owns a LivenessManager and keeps a raw pointer on
+  /// the hot path (same null-toggle idiom as `recorder` and `checker`).
+  resilience::LivenessConfig liveness;
+
+  /// Live chaos injection (src/resilience/chaos.hpp): thread stalls,
+  /// spurious aborts, delayed commits, EBR reclamation pressure. Disabled
+  /// by default; never combine with `checker` (the deterministic executor
+  /// has its own fault injector).
+  resilience::ChaosConfig chaos;
+
+  /// Bound on how long Runtime::shutdown() waits for in-flight attempts to
+  /// drain before teardown proceeds anyway.
+  std::int64_t shutdown_drain_timeout_ns = 1'000'000'000;
 };
 
 class Runtime {
@@ -272,6 +300,22 @@ class Runtime {
   /// Clears all per-thread metrics (between warmup and measurement).
   void reset_metrics();
 
+  /// Quiescence-safe teardown, also run by the destructor. Marks the
+  /// runtime as stopping (any later begin_attempt throws
+  /// resilience::RuntimeStoppedError), then drains in-flight attempts with
+  /// a bounded timeout (RuntimeConfig::shutdown_drain_timeout_ns), kicking
+  /// non-irrevocable stragglers via try_abort so contention-manager waits
+  /// unwind. Idempotent and safe to call concurrently with workers; callers
+  /// must still stop *invoking* atomically() (i.e. observe the error and
+  /// exit their loops) before the Runtime object itself is destroyed.
+  void shutdown() noexcept;
+  bool stopping() const noexcept { return stopping_.load(std::memory_order_acquire); }
+
+  /// Liveness manager when RuntimeConfig::liveness.enabled, else null.
+  const resilience::LivenessManager* liveness() const noexcept { return liveness_; }
+  /// Chaos injector when RuntimeConfig::chaos.enabled, else null.
+  const resilience::ChaosInjector* chaos() const noexcept { return chaos_; }
+
  private:
   friend class Tx;
 
@@ -322,6 +366,25 @@ class Runtime {
   /// Resolve the visible readers present at acquire time.
   void resolve_readers(ThreadCtx& tc, TObjectBase& obj);
 
+  /// Conflict arbitration front end: plain manager resolve() when the
+  /// liveness layer is off; otherwise irrevocability short-circuits
+  /// (an irrevocable self wins, an irrevocable enemy is waited on) and
+  /// escalation boosts override the manager (resolve_with_boost).
+  Resolution arbitrate(ThreadCtx& tc, TxDesc& me, TxDesc& enemy, ConflictKind kind);
+
+  /// Escalation-ladder policy, run at the top of begin_attempt: deadline
+  /// check (throws resilience::TxTimeoutError), watchdog flag collection,
+  /// backoff sleep, serial-fallback token acquisition. Returns the level
+  /// this attempt runs at (0 = normal ... 3 = irrevocable).
+  std::uint32_t liveness_pre_begin(ThreadCtx& tc, std::int64_t first_begin);
+
+  /// Chaos injection hooks (no-ops when chaos_ is null).
+  void chaos_at_open(ThreadCtx& tc);
+  void chaos_at_commit(ThreadCtx& tc);
+
+  /// Watchdog callback: aborts slot's current attempt (stall remediation).
+  void watchdog_kick(unsigned slot);
+
   void cleanup_attempt(ThreadCtx& tc, bool committed);
 
   /// detach_thread body; requires attach_mutex_ held.
@@ -337,10 +400,28 @@ class Runtime {
   std::vector<std::unique_ptr<ThreadCtx>> retired_threads_;
   std::array<std::atomic<bool>, kMaxThreads> slot_used_{};
   mutable std::mutex attach_mutex_;
+
+  // Liveness/chaos (owned; the raw pointers are the hot-path toggles).
+  std::unique_ptr<resilience::LivenessManager> liveness_owned_;
+  resilience::LivenessManager* liveness_ = nullptr;
+  std::unique_ptr<resilience::ChaosInjector> chaos_owned_;
+  resilience::ChaosInjector* chaos_ = nullptr;
+  /// EBR handle for the watchdog thread (it dereferences published TxDesc
+  /// pointers when kicking); used only from the watchdog thread while it
+  /// runs, detached by the destructor after the watchdog has joined.
+  /// Absent (never attached) when the domain had no free slot.
+  ebr::Handle watchdog_ebr_;
+
+  // Shutdown gate: Dekker-style with the per-slot attempt_active_ flags
+  // (begin_attempt stores its flag seq_cst then loads stopping_; shutdown
+  // stores stopping_ seq_cst then scans the flags).
+  std::atomic<bool> stopping_{false};
+  std::array<CacheAligned<std::atomic<std::uint8_t>>, kMaxThreads> attempt_active_{};
 };
 
 inline const void* Tx::open_read(TObjectBase& obj) { return rt_->open_read(*tc_, obj); }
 inline void* Tx::open_write(TObjectBase& obj) { return rt_->open_write(*tc_, obj); }
+inline void Tx::restart() { rt_->abort_self(*tc_); }
 
 // ---- TObject template methods (need the complete Tx) ----------------------
 

@@ -46,6 +46,17 @@ struct alignas(kCacheLine) TxDesc {
   /// start and after every abort. Lower value wins.
   std::atomic<std::uint64_t> rand_prio{0};
 
+  /// Escalation-ladder priority boost (0 = none). Read by enemies through
+  /// ContentionManager::resolve_with_boost: a higher boost wins outright,
+  /// regardless of the manager's own policy. Written only by the owning
+  /// thread before the descriptor is published.
+  std::atomic<std::uint32_t> boost{0};
+  /// Serial-fallback mode: the holder of the global irrevocable token
+  /// cannot be aborted by enemies (try_abort refuses), so its conflicts
+  /// must wait. Written only by the owning thread before publication;
+  /// cleared by the owner before it self-aborts (abort_self demotes first).
+  std::atomic<bool> irrevocable{false};
+
   /// Identity of the transaction that aborted this one, registered by
   /// scheduler-style managers (Steal-On-Abort) before the kill; carries one
   /// reference, released by the victim's cleanup (runtime) or its manager's
@@ -74,8 +85,13 @@ struct alignas(kCacheLine) TxDesc {
 
   /// Tries to kill this transaction. Returns true if the transaction ends
   /// up aborted (whether we did it or it already was), false if it managed
-  /// to commit first.
+  /// to commit first. An irrevocable transaction (serial-fallback token
+  /// holder) refuses remote kills; its owner demotes it (clears the flag)
+  /// before any self-abort, so the refusal only ever blocks enemies.
   bool try_abort() noexcept {
+    if (irrevocable.load(std::memory_order_acquire)) {
+      return status.load(std::memory_order_acquire) == TxStatus::kAborted;
+    }
     TxStatus expected = TxStatus::kActive;
     return status.compare_exchange_strong(expected, TxStatus::kAborted,
                                           std::memory_order_acq_rel) ||

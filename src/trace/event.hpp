@@ -38,16 +38,31 @@ enum class EventKind : std::uint8_t {
   kBackoff,         // a0 = waited ns, a1 = rounds/slices
   kResolve,         // window decision: detail = resolution, enemy/a0 = enemy slot/serial,
                     // a1 = pack_resolve_prios(...) — the exact vectors compared
-  kPrioritySwitch,  // low->high: a0 = assigned frame F_ij, a1 = observed frame
+  kPrioritySwitch,  // low->high: a0 = assigned frame F_ij, a1 = observed frame;
+                    // detail bit0 = 1 when forced by the escalation ladder
+                    // (liveness boost) rather than the frame clock
   kFrameAdvance,    // a0 = new frame, a1 = previously observed frame;
                     // detail bit0 = 1 when reported by the dynamic controller
   kWindowStart,     // a0 = random delay q_i, a1 = window length N
   kWindowCommit,    // a0 = assigned frame, a1 = commit frame; detail bit0 = bad event
   kCiUpdate,        // a0/a1 = C_i / CI estimate as double bit patterns;
                     // detail bit0 = 1 when triggered by a bad event
+
+  // Liveness layer (src/resilience/), recorded by stm::Runtime in the
+  // owning thread's ring:
+  kWatchdog,        // watchdog detection collected by the owner: detail bit0 =
+                    // abort storm, bit1 = stalled attempt; a0 = consecutive
+                    // aborts, a1 = logical-transaction age ns
+  kEscalate,        // escalation-ladder step taken for this attempt:
+                    // detail = level (1 backoff, 2 priority boost, 3 serial
+                    // fallback attempt); a0 = consecutive aborts
+  kSerialToken,     // irrevocable serial-fallback token: detail 1 = acquired,
+                    // 0 = released
+  kChaos,           // chaos fault suffered: detail = ChaosInjector::Fault,
+                    // a0 = injected sleep in microseconds
 };
 
-inline constexpr std::uint8_t kNumEventKinds = 12;
+inline constexpr std::uint8_t kNumEventKinds = 16;
 
 const char* kind_name(EventKind kind) noexcept;
 

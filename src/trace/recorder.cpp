@@ -71,6 +71,10 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::kWindowStart: return "window_start";
     case EventKind::kWindowCommit: return "window_commit";
     case EventKind::kCiUpdate: return "ci_update";
+    case EventKind::kWatchdog: return "watchdog";
+    case EventKind::kEscalate: return "escalate";
+    case EventKind::kSerialToken: return "serial_token";
+    case EventKind::kChaos: return "chaos";
   }
   return "?";
 }

@@ -225,6 +225,26 @@ void WindowCM::on_window_start(stm::ThreadCtx& self, std::uint32_t n_transaction
   st.in_window = false;  // next on_begin starts the window
 }
 
+void WindowCM::on_boost(stm::ThreadCtx& self, stm::TxDesc& tx, std::uint32_t level) {
+  (void)level;
+  PerThread& st = *state_[self.slot()];
+  if (st.high) return;  // already high; the boost field still breaks ties
+  // Forced low→high switch: pin the assigned frame to the frame we observe
+  // now, i.e. treat the escalated transaction as if its frame had just
+  // begun. (Recording observed as both frames keeps the ScheduleChecker's
+  // "switched at or after the assigned frame" invariant true by
+  // construction.) π2 = 0 undercuts every regular draw in [1, M].
+  const std::uint64_t observed = frame_now(st);
+  st.assigned_frame = observed;
+  st.high = true;
+  tx.rand_prio.store(0, std::memory_order_release);
+  tx.prio_class.store(0, std::memory_order_release);
+  if (recorder_ != nullptr) {
+    recorder_->record(self.slot(), trace::EventKind::kPrioritySwitch, tx.serial, 1,
+                      trace::kNoEnemy, observed, observed);
+  }
+}
+
 void WindowCM::note_tau_sample(std::int64_t sample_ns) {
   // EWMA with racy read-modify-write: lost updates only slow the estimate's
   // convergence, which is acceptable for a frame-length heuristic.

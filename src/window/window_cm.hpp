@@ -75,6 +75,10 @@ class WindowCM final : public cm::ContentionManager {
   void on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) override;
   void on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) override;
   void on_window_start(stm::ThreadCtx& self, std::uint32_t n_transactions) override;
+  /// Escalation-ladder boost: forced high priority with the assigned frame
+  /// pinned to the observed frame (the transaction behaves as if its frame
+  /// had just begun), and π2 = 0 — below every regular draw in [1, M].
+  void on_boost(stm::ThreadCtx& self, stm::TxDesc& tx, std::uint32_t level) override;
 
   // --- introspection (tests, diagnostics, EXPERIMENTS.md reporting) ---
 

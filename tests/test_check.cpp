@@ -125,7 +125,9 @@ TEST(Schedule, TextRoundTrip) {
   s.config.seed = 0xabcdef;
   s.config.strategy = "pct";
   s.config.faults.p_abort = 0.125;
+  s.config.faults.p_stall_any = 0.0625;
   s.config.faults.stall_steps = 7;
+  s.config.liveness = true;
   s.config.bug = "blind-commit";
   s.decisions = {
       {0, check::Point::kBegin, check::Action::kProceed},
@@ -142,13 +144,26 @@ TEST(Schedule, TextRoundTrip) {
   EXPECT_EQ(back.config.seed, s.config.seed);
   EXPECT_EQ(back.config.strategy, s.config.strategy);
   EXPECT_DOUBLE_EQ(back.config.faults.p_abort, s.config.faults.p_abort);
+  EXPECT_DOUBLE_EQ(back.config.faults.p_stall_any, s.config.faults.p_stall_any);
   EXPECT_EQ(back.config.faults.stall_steps, s.config.faults.stall_steps);
+  EXPECT_EQ(back.config.liveness, s.config.liveness);
   EXPECT_EQ(back.config.bug, s.config.bug);
   ASSERT_EQ(back.decisions.size(), s.decisions.size());
   for (std::size_t i = 0; i < s.decisions.size(); ++i) {
     EXPECT_EQ(back.decisions[i], s.decisions[i]) << "decision " << i;
   }
   EXPECT_EQ(s.injected_faults(), 2u);
+}
+
+TEST(Schedule, OldFilesWithoutNewKeysStillLoad) {
+  // Schedules written before p_stall_any/liveness existed must keep loading
+  // with the old defaults.
+  const std::string old_text =
+      "wstm-schedule v1\nstructure list\ncm Polka\nthreads 2\ng 0 B p\n";
+  const Schedule s = check::schedule_from_text(old_text);
+  EXPECT_DOUBLE_EQ(s.config.faults.p_stall_any, 0.0);
+  EXPECT_FALSE(s.config.liveness);
+  EXPECT_EQ(s.decisions.size(), 1u);
 }
 
 TEST(Schedule, RejectsMalformedText) {
@@ -273,6 +288,66 @@ TEST(CheckerSeededBug, CleanProtocolSurvivesSameBudget) {
   Checker checker(c);
   const auto er = checker.explore(/*num_schedules=*/10, /*stop_on_violation=*/true);
   EXPECT_EQ(er.violations, 0u) << er.first_violation.diagnosis;
+}
+
+// ---- stall-anywhere fault + liveness layer under exploration ---------------
+
+TEST(CheckerFaults, StallAnywhereStaysCleanAndReplays) {
+  CheckConfig c = small_config();
+  c.cm = "Aggressive";
+  c.faults.p_stall_any = 0.08;
+  c.faults.stall_steps = 6;
+  Checker checker(c);
+  const RunResult once = checker.run_once(11);
+  EXPECT_FALSE(once.violation) << once.diagnosis;
+  ASSERT_FALSE(once.over_budget);
+  const RunResult again = checker.replay(once.schedule);
+  EXPECT_EQ(again.divergences, 0u);
+  EXPECT_EQ(once.schedule.decisions, again.schedule.decisions);
+  EXPECT_EQ(once.metrics.commits, again.metrics.commits);
+}
+
+TEST(CheckerLiveness, SerialTokenNeverHasTwoHolders) {
+  // Spurious aborts drive transactions up the escalation ladder until some
+  // reach the irrevocable serial-fallback level; across many explored
+  // interleavings the token must never admit two concurrent holders, and
+  // every run must still linearize.
+  CheckConfig c;
+  c.threads = 3;
+  c.ops_per_thread = 12;
+  c.key_range = 8;
+  c.cm = "Polka";
+  c.liveness = true;
+  c.faults.p_abort = 0.25;
+  std::uint64_t total_acquisitions = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Checker checker(c);
+    const RunResult r = checker.run_once(seed);
+    EXPECT_FALSE(r.violation) << "seed " << seed << ": " << r.diagnosis;
+    EXPECT_LE(r.max_token_holders, 1u) << "seed " << seed;
+    EXPECT_EQ(r.token_overlap_violations, 0u) << "seed " << seed;
+    total_acquisitions += r.token_acquisitions;
+  }
+  EXPECT_GT(total_acquisitions, 0u)
+      << "escalation never reached the serial-fallback level; thresholds too loose";
+}
+
+TEST(CheckerLiveness, LivenessRunsReplayDeterministically) {
+  CheckConfig c;
+  c.threads = 3;
+  c.ops_per_thread = 10;
+  c.key_range = 8;
+  c.cm = "Polka";
+  c.liveness = true;
+  c.faults.p_abort = 0.2;
+  Checker checker(c);
+  const RunResult once = checker.run_once(5);
+  ASSERT_FALSE(once.over_budget);
+  const RunResult again = checker.replay(once.schedule);
+  EXPECT_EQ(again.divergences, 0u);
+  EXPECT_EQ(once.schedule.decisions, again.schedule.decisions);
+  EXPECT_EQ(once.metrics.commits, again.metrics.commits);
+  EXPECT_EQ(once.token_acquisitions, again.token_acquisitions);
 }
 
 // ---- window invariants ride along ------------------------------------------

@@ -1,0 +1,358 @@
+// Liveness layer (src/resilience/): serial-fallback token mutual exclusion,
+// starvation escalation up to the irrevocable level, hard deadlines, the
+// stall watchdog, quiescence-safe shutdown, chaos injection, and the
+// harness's worker-exception reporting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cm/registry.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+#include "resilience/chaos.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/liveness.hpp"
+#include "stm/runtime.hpp"
+#include "util/timing.hpp"
+
+namespace wstm {
+namespace {
+
+using resilience::LivenessConfig;
+using resilience::LivenessManager;
+using resilience::RuntimeStoppedError;
+using resilience::TxTimeoutError;
+using stm::Runtime;
+using stm::ThreadCtx;
+using stm::TObject;
+using stm::Tx;
+
+struct Cell {
+  long value = 0;
+};
+
+void spin_ns(std::int64_t ns) {
+  const std::int64_t until = now_ns() + ns;
+  while (now_ns() < until) {
+  }
+}
+
+// ---- serial-fallback token (mechanism unit test) ---------------------------
+
+TEST(SerialToken, NeverAdmitsTwoHolders) {
+  LivenessManager lm(LivenessConfig{});
+  constexpr unsigned kThreads = 8;
+  constexpr int kRounds = 4000;
+  std::atomic<int> inside{0};
+  std::atomic<int> overlap_seen{0};
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        if (!lm.try_acquire_token(t)) continue;
+        if (inside.fetch_add(1, std::memory_order_acq_rel) != 0) {
+          overlap_seen.fetch_add(1, std::memory_order_relaxed);
+        }
+        inside.fetch_sub(1, std::memory_order_acq_rel);
+        lm.release_token(t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const LivenessManager::Stats s = lm.stats();
+  EXPECT_EQ(overlap_seen.load(), 0);
+  EXPECT_GT(s.token_acquisitions, 0u);
+  EXPECT_LE(s.max_token_holders, 1u);
+  EXPECT_EQ(s.token_overlap_violations, 0u);
+  EXPECT_EQ(lm.token_owner(), -1);
+}
+
+// ---- starvation: escalation reaches the serial fallback --------------------
+
+class StarvationCMs : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(CMs, StarvationCMs, ::testing::Values("Polka", "Adaptive"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(StarvationCMs, LongWriterClimbsLadderAndCommits) {
+  // One long writer (holds the shared object while yielding, so it keeps
+  // losing to quick enemies — the yields matter on single-core hosts, where
+  // a pure busy-spin would never let the enemies run at all) against three
+  // short writers hammering the same object. The liveness layer must walk
+  // it up the ladder to the irrevocable token; the run must stay exact (no
+  // lost updates) and the token single-holder. boost_after == serial_after
+  // on purpose: a *working* boost level heals the storm before the token is
+  // ever needed, so reaching the token in-test requires jumping over it
+  // (the boost itself is still applied at level 3).
+  constexpr int kMinLongCommits = 6;
+  constexpr int kMaxLongCommits = 80;
+  constexpr unsigned kShortThreads = 3;
+
+  cm::Params params;
+  params.threads = kShortThreads + 1;
+  params.window_n = 8;
+  stm::RuntimeConfig cfg;
+  cfg.liveness.enabled = true;
+  cfg.liveness.backoff_after = 1;
+  cfg.liveness.boost_after = 4;
+  cfg.liveness.serial_after = 4;
+  cfg.liveness.backoff_base_us = 1;
+  cfg.liveness.backoff_cap_us = 20;
+  cfg.liveness.deadline_ns = 60'000'000'000;  // generous: never expected to fire
+  cfg.liveness.watchdog_period_ns = 100'000;
+  cfg.liveness.stall_timeout_ns = 2'000'000'000;  // no stall kicks in this test
+  cfg.liveness.storm_threshold = 2;
+  Runtime rt(cm::make_manager(GetParam(), params), cfg);
+  TObject<Cell> counter(Cell{0});
+
+  constexpr long kBig = 1'000'000'000;  // long-writer increments, > any short total
+  std::atomic<bool> stop_short{false};
+  std::atomic<long> short_total{0};
+  std::vector<std::thread> shorts;
+  for (unsigned t = 0; t < kShortThreads; ++t) {
+    shorts.emplace_back([&] {
+      // Sustained contention for the whole long-writer run.
+      ThreadCtx& tc = rt.attach_thread();
+      while (!stop_short.load(std::memory_order_acquire)) {
+        rt.atomically(tc, [&](Tx& tx) { counter.open_write(tx)->value += 1; });
+        short_total.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  int long_commits = 0;
+  {
+    ThreadCtx& tc = rt.attach_thread();
+    while (long_commits < kMaxLongCommits) {
+      rt.atomically(tc, [&](Tx& tx) {
+        Cell* c = counter.open_write(tx);
+        for (int s = 0; s < 60; ++s) {  // ~300 us held, yielding throughout
+          spin_ns(5'000);
+          std::this_thread::yield();
+        }
+        c->value += kBig;
+      });
+      ++long_commits;
+      if (long_commits >= kMinLongCommits && tc.metrics().serial_fallbacks > 0 &&
+          rt.liveness()->stats().storms_flagged > 0) {
+        break;
+      }
+    }
+    stop_short.store(true, std::memory_order_release);
+  }
+  for (auto& w : shorts) w.join();
+
+  const long final_value = counter.peek()->value;
+  EXPECT_EQ(final_value / kBig, long_commits) << "long-writer commits lost";
+  EXPECT_EQ(final_value % kBig, short_total.load()) << "short-writer commits lost";
+
+  const stm::ThreadMetrics totals = rt.total_metrics();
+  EXPECT_GT(totals.escalations, 0u) << "ladder never engaged under " << GetParam();
+  EXPECT_GT(totals.serial_fallbacks, 0u)
+      << "starved writer never reached the irrevocable level under " << GetParam();
+  EXPECT_EQ(totals.timeouts, 0u);
+
+  const LivenessManager::Stats ls = rt.liveness()->stats();
+  EXPECT_GT(ls.scans, 0u) << "watchdog thread never scanned";
+  EXPECT_GT(ls.storms_flagged, 0u) << "watchdog never flagged the abort storm";
+  EXPECT_LE(ls.max_token_holders, 1u);
+  EXPECT_EQ(ls.token_overlap_violations, 0u);
+}
+
+// ---- hard deadline ---------------------------------------------------------
+
+TEST(Deadline, BlockedTransactionThrowsTxTimeoutError) {
+  // Under Greedy the younger transaction waits for the older one; with the
+  // older one parked inside its transaction, the younger spins in kRetry
+  // until the liveness deadline converts the wait into TxTimeoutError.
+  cm::Params params;
+  params.threads = 2;
+  stm::RuntimeConfig cfg;
+  cfg.liveness.enabled = true;
+  cfg.liveness.deadline_ns = 50'000'000;  // 50 ms
+  // Park the ladder far away so only the deadline is in play.
+  cfg.liveness.backoff_after = 1'000'000;
+  cfg.liveness.boost_after = 1'000'000;
+  cfg.liveness.serial_after = 1'000'000;
+  cfg.liveness.watchdog_period_ns = 0;
+  Runtime rt(cm::make_manager("Greedy", params), cfg);
+  TObject<Cell> obj(Cell{0});
+
+  std::atomic<bool> holder_in_tx{false};
+  std::atomic<bool> release_holder{false};
+  std::thread holder([&] {
+    ThreadCtx& tc = rt.attach_thread();
+    rt.atomically(tc, [&](Tx& tx) {
+      obj.open_write(tx)->value += 1;
+      if (!holder_in_tx.exchange(true, std::memory_order_acq_rel)) {
+        while (!release_holder.load(std::memory_order_acquire)) std::this_thread::yield();
+      }
+    });
+  });
+  while (!holder_in_tx.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  ThreadCtx& tc = rt.attach_thread();
+  bool timed_out = false;
+  const std::int64_t t0 = now_ns();
+  try {
+    rt.atomically(tc, [&](Tx& tx) { obj.open_write(tx)->value += 10; });
+  } catch (const TxTimeoutError& e) {
+    timed_out = true;
+    EXPECT_EQ(e.slot(), tc.slot());
+    EXPECT_GE(e.age_ns(), cfg.liveness.deadline_ns);
+    EXPECT_NE(std::string(e.what()).find("deadline exceeded"), std::string::npos);
+  }
+  const std::int64_t waited = now_ns() - t0;
+  release_holder.store(true, std::memory_order_release);
+  holder.join();
+
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(waited, cfg.liveness.deadline_ns);
+  EXPECT_EQ(rt.total_metrics().timeouts, 1u);
+  EXPECT_EQ(obj.peek()->value, 1);  // the timed-out +10 never happened
+}
+
+// ---- watchdog stall detection + kick ---------------------------------------
+
+TEST(Watchdog, KicksStalledTransactionWhichThenCommits) {
+  cm::Params params;
+  params.threads = 1;
+  stm::RuntimeConfig cfg;
+  cfg.liveness.enabled = true;
+  cfg.liveness.watchdog_period_ns = 1'000'000;   // 1 ms scans
+  cfg.liveness.stall_timeout_ns = 5'000'000;     // 5 ms without progress = stalled
+  cfg.liveness.kick_stalled = true;
+  cfg.liveness.storm_threshold = 1'000'000;      // storms out of the picture
+  cfg.liveness.backoff_after = 1'000'000;
+  cfg.liveness.boost_after = 1'000'000;
+  cfg.liveness.serial_after = 1'000'000;
+  Runtime rt(cm::make_manager("Polka", params), cfg);
+  TObject<Cell> obj(Cell{0});
+
+  ThreadCtx& tc = rt.attach_thread();
+  std::atomic<int> attempts{0};
+  rt.atomically(tc, [&](Tx& tx) {
+    const int attempt = attempts.fetch_add(1, std::memory_order_acq_rel);
+    obj.open_write(tx)->value += 1;
+    if (attempt == 0) {
+      // No schedule-point progress for well past the stall timeout: the
+      // watchdog must flag this attempt and kick (abort) it.
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  });
+
+  EXPECT_GE(attempts.load(), 2) << "stalled attempt was never kicked";
+  EXPECT_EQ(obj.peek()->value, 1);
+  const LivenessManager::Stats ls = rt.liveness()->stats();
+  EXPECT_GE(ls.stalls_flagged, 1u);
+  EXPECT_GE(ls.kicks, 1u);
+  EXPECT_GT(rt.total_metrics().watchdog_flags, 0u);
+}
+
+// ---- quiescence-safe shutdown ----------------------------------------------
+
+TEST(Shutdown, DrainsInFlightTransactionsAndRefusesNewOnes) {
+  cm::Params params;
+  params.threads = 4;
+  auto rt = std::make_unique<Runtime>(cm::make_manager("Polka", params));
+  TObject<Cell> counter(Cell{0});
+
+  constexpr unsigned kThreads = 4;
+  std::atomic<unsigned> saw_stop{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      ThreadCtx& tc = rt->attach_thread();
+      try {
+        for (;;) {
+          rt->atomically(tc, [&](Tx& tx) {
+            Cell* c = counter.open_write(tx);
+            spin_ns(5'000);  // keep attempts in flight while shutdown lands
+            c->value += 1;
+          });
+        }
+      } catch (const RuntimeStoppedError&) {
+        saw_stop.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  rt->shutdown();  // mid-flight: workers must unwind, not hang or corrupt
+  rt->shutdown();  // idempotent
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(saw_stop.load(), kThreads);
+  EXPECT_TRUE(rt->stopping());
+  EXPECT_GT(rt->total_metrics().commits, 0u);
+  const long value = counter.peek()->value;
+  EXPECT_EQ(static_cast<std::uint64_t>(value), rt->total_metrics().commits)
+      << "a drained/refused attempt leaked a partial update";
+  rt.reset();  // destroy with workers gone: must not hang or double-free
+}
+
+// ---- chaos injection -------------------------------------------------------
+
+TEST(Chaos, InjectedFaultsDoNotBreakProgressOrSafety) {
+  harness::RunConfig run;
+  run.threads = 4;
+  run.duration_ms = 150;
+  run.liveness.enabled = true;
+  run.chaos = resilience::default_chaos(4.0);  // crank it: this is a smoke test
+  run.chaos.ebr_pressure_every = 8;
+
+  auto workload = harness::make_workload("list", 100, 64);
+  cm::Params params;
+  params.threads = run.threads;
+  const harness::RunResult r = harness::run_workload("Polka", params, *workload, run);
+
+  EXPECT_TRUE(r.valid) << r.why;
+  EXPECT_TRUE(r.thread_errors.empty());
+  EXPECT_GT(r.totals.commits, 0u) << "chaos starved the run completely";
+  EXPECT_GT(r.totals.chaos_faults, 0u) << "injector never fired at intensity 4";
+  EXPECT_LE(r.liveness_stats.max_token_holders, 1u);
+  EXPECT_EQ(r.liveness_stats.token_overlap_violations, 0u);
+}
+
+// ---- harness worker-exception containment ----------------------------------
+
+class ThrowingWorkload final : public harness::Workload {
+ public:
+  std::string name() const override { return "throwing"; }
+  void populate(Runtime&, ThreadCtx&) override {}
+  void run_one(Runtime& rt, ThreadCtx& tc, Xoshiro256&) override {
+    if (ops_.fetch_add(1, std::memory_order_acq_rel) == 25) {
+      throw std::runtime_error("boom: workload-level failure");
+    }
+    rt.atomically(tc, [&](Tx& tx) { counter_.open_write(tx)->value += 1; });
+  }
+  bool validate(std::string*) const override { return true; }
+
+ private:
+  TObject<Cell> counter_{Cell{0}};
+  std::atomic<int> ops_{0};
+};
+
+TEST(Harness, WorkerExceptionFailsCellWithReadableReport) {
+  ThrowingWorkload workload;
+  harness::RunConfig run;
+  run.threads = 3;
+  run.duration_ms = 2000;  // the throw ends the run long before this
+  cm::Params params;
+  params.threads = run.threads;
+  const harness::RunResult r = harness::run_workload("Polka", params, workload, run);
+
+  EXPECT_FALSE(r.valid);
+  ASSERT_FALSE(r.thread_errors.empty());
+  EXPECT_NE(r.thread_errors.front().find("thread "), std::string::npos);
+  EXPECT_NE(r.why.find("worker thread(s) died on an exception"), std::string::npos);
+  EXPECT_NE(r.why.find("boom: workload-level failure"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wstm

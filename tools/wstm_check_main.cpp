@@ -56,8 +56,14 @@ void add_config_flags(wstm::Cli& cli, const CheckConfig& d) {
   cli.add_flag("p-abort", "spurious-abort injection probability", d.faults.p_abort);
   cli.add_flag("p-fail-cas", "forced locator-CAS failure probability", d.faults.p_fail_cas);
   cli.add_flag("p-stall", "stalled-commit injection probability", d.faults.p_stall);
+  cli.add_flag("p-stall-any", "stall injection probability at ANY protocol point",
+               d.faults.p_stall_any);
   cli.add_flag("stall-steps", "scheduling steps a stalled commit waits",
                static_cast<std::int64_t>(d.faults.stall_steps));
+  cli.add_flag("liveness",
+               "arm the escalation ladder + serial-fallback token (checker-tuned "
+               "thresholds, no sleeps, no watchdog thread)",
+               d.liveness);
   cli.add_flag("bug", "seeded protocol bug: none|blind-commit|skip-reader-abort|skip-cas-recheck",
                d.bug);
 }
@@ -81,7 +87,9 @@ CheckConfig config_from_cli(const wstm::Cli& cli) {
   c.faults.p_abort = cli.get_double("p-abort");
   c.faults.p_fail_cas = cli.get_double("p-fail-cas");
   c.faults.p_stall = cli.get_double("p-stall");
+  c.faults.p_stall_any = cli.get_double("p-stall-any");
   c.faults.stall_steps = static_cast<std::uint32_t>(cli.get_int("stall-steps"));
+  c.liveness = cli.get_bool("liveness");
   c.bug = cli.get_string("bug");
   return c;
 }
@@ -95,6 +103,12 @@ void print_run(const RunResult& r) {
               static_cast<unsigned long long>(r.metrics.aborts),
               static_cast<unsigned long long>(r.metrics.injected_aborts),
               r.over_budget ? " OVER-BUDGET" : "");
+  if (r.schedule.config.liveness) {
+    std::printf("serial-token: acquisitions=%llu max_holders=%llu overlaps=%llu\n",
+                static_cast<unsigned long long>(r.token_acquisitions),
+                static_cast<unsigned long long>(r.max_token_holders),
+                static_cast<unsigned long long>(r.token_overlap_violations));
+  }
 }
 
 int usage(const char* prog) {
