@@ -225,17 +225,33 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
     throw resilience::RuntimeStoppedError(tc.slot_);
   }
 
-  std::uint32_t level = 0;
-  if (liveness_ != nullptr) {
-    try {
-      level = liveness_pre_begin(tc, first_begin);
-    } catch (...) {
-      attempt_active_[tc.slot_]->store(0, std::memory_order_release);
-      throw;
+  // Unwind protection until the descriptor is published: anything that
+  // throws in between (the liveness deadline check, the EBR pin, the pool
+  // allocation) must not leak the active flag — shutdown() would spin on it
+  // until the drain timeout — nor the serial-fallback token, which has no
+  // other release path and would disable serial fallback for the rest of
+  // the run.
+  struct BeginGuard {
+    Runtime* rt;
+    ThreadCtx* tc;
+    bool pinned = false;
+    bool armed = true;
+    ~BeginGuard() {
+      if (!armed) return;
+      if (tc->attempt_irrevocable_) {
+        tc->attempt_irrevocable_ = false;
+        rt->liveness_->release_token(tc->slot_);
+      }
+      if (pinned) tc->ebr_.unpin();
+      rt->attempt_active_[tc->slot_]->store(0, std::memory_order_release);
     }
-  }
+  } guard{this, &tc};
+
+  std::uint32_t level = 0;
+  if (liveness_ != nullptr) level = liveness_pre_begin(tc, first_begin);
 
   tc.ebr_.pin();
+  guard.pinned = true;
 
   auto* desc = new (util::Pool::allocate(tc.pool_, sizeof(TxDesc))) TxDesc();
   desc->thread_slot = tc.slot_;
@@ -244,10 +260,12 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
   // need a fresh clock read.
   desc->begin_ns = is_retry ? now_ns() : first_begin;
   desc->first_begin_ns = first_begin;
-  if (level > 0) {
+  if (level >= 2) {
     // Escalation state becomes visible to enemies with the descriptor
     // itself: both fields are set before the publishing exchange below, so
-    // no enemy ever observes a half-escalated attempt.
+    // no enemy ever observes a half-escalated attempt. Level 1 is purely a
+    // backoff stage (already slept in liveness_pre_begin) and carries no
+    // arbitration boost.
     desc->boost.store(level, std::memory_order_relaxed);
     if (tc.attempt_irrevocable_) desc->irrevocable.store(true, std::memory_order_relaxed);
   }
@@ -260,6 +278,7 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
   if (prev != nullptr) tc.ebr_.retire(prev, &release_desc_ref);
 
   tc.current_ = desc;
+  guard.armed = false;  // published: commit/abort cleanup owns the state now
   tc.waited_this_attempt_ = false;
   if (trace::Recorder* rec = config_.recorder) {
     rec->record(tc.slot_, trace::EventKind::kBegin, desc->serial, is_retry ? 1 : 0);
@@ -324,8 +343,23 @@ bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
 void Runtime::finish_attempt_abort(ThreadCtx& tc) {
   sched_point(check::Point::kAbort);  // visibility only: directives ignored
   TxDesc* desc = tc.current_;
+  // Demote before the kill, mirroring abort_self: a user exception escaping
+  // the lambda of an irrevocable attempt lands here with the flag still
+  // set, and try_abort refuses irrevocable descriptors — without the
+  // demotion the status would stay kActive forever and enemies would wait
+  // on the dead attempt indefinitely.
+  demote_irrevocable(tc, desc);
   desc->try_abort();  // may already be aborted (remote kill or restart())
   cleanup_attempt(tc, /*committed=*/false);
+}
+
+void Runtime::demote_irrevocable(ThreadCtx& tc, TxDesc* desc) {
+  if (liveness_ == nullptr || !desc->irrevocable.load(std::memory_order_relaxed)) return;
+  desc->irrevocable.store(false, std::memory_order_release);
+  liveness_->release_token(tc.slot_);
+  if (trace::Recorder* rec = config_.recorder) {
+    rec->record(tc.slot_, trace::EventKind::kSerialToken, desc->serial, 0);
+  }
 }
 
 void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
@@ -410,16 +444,10 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
     tc.consecutive_aborts_++;
   }
   if (liveness_ != nullptr) {
-    // The commit path releases the serial-fallback token here; the
-    // self-abort path already demoted in abort_self (enemies cannot kill an
-    // irrevocable attempt, so those are the only two ways out).
-    if (desc->irrevocable.load(std::memory_order_relaxed)) {
-      desc->irrevocable.store(false, std::memory_order_release);
-      liveness_->release_token(tc.slot_);
-      if (trace::Recorder* rec = config_.recorder) {
-        rec->record(tc.slot_, trace::EventKind::kSerialToken, desc->serial, 0);
-      }
-    }
+    // The commit path releases the serial-fallback token here; every abort
+    // path (abort_self, finish_attempt_abort) already demoted before its
+    // try_abort, for which demote_irrevocable is a no-op.
+    demote_irrevocable(tc, desc);
     tc.attempt_irrevocable_ = false;
     liveness_->note_attempt_end(tc.slot_, committed);
   }
@@ -466,13 +494,7 @@ void Runtime::abort_self(ThreadCtx& tc) {
   // Irrevocability means "enemies cannot kill us", not "we cannot fail
   // ourselves" (invisible-read validation, restart(), injected faults).
   // Demote first so try_abort goes through and the token frees up.
-  if (liveness_ != nullptr && desc->irrevocable.load(std::memory_order_relaxed)) {
-    desc->irrevocable.store(false, std::memory_order_release);
-    liveness_->release_token(tc.slot_);
-    if (trace::Recorder* rec = config_.recorder) {
-      rec->record(tc.slot_, trace::EventKind::kSerialToken, desc->serial, 0);
-    }
-  }
+  demote_irrevocable(tc, desc);
   desc->try_abort();
   throw TxAbort{};
 }

@@ -287,7 +287,13 @@ class Runtime {
       } catch (const TxAbort&) {
         finish_attempt_abort(tc);
       } catch (...) {
+        // Any escaping exception (a user error, resilience::TxTimeoutError)
+        // ends the logical transaction, so the escalation ladder must not
+        // carry into the next one — cleanup_attempt just counted the
+        // aborted attempt, undoing e.g. arbitrate()'s pre-throw reset.
         finish_attempt_abort(tc);
+        tc.consecutive_aborts_ = 0;
+        tc.escalation_level_ = 0;
         throw;
       }
       is_retry = true;
@@ -386,6 +392,13 @@ class Runtime {
   void watchdog_kick(unsigned slot);
 
   void cleanup_attempt(ThreadCtx& tc, bool committed);
+
+  /// Clears `desc`'s irrevocable flag and releases the serial-fallback
+  /// token (with a trace event). Owner-thread only; no-op when the liveness
+  /// layer is off or the flag is already clear. Every path out of an
+  /// irrevocable attempt funnels through this before (or instead of) a
+  /// try_abort, which refuses while the flag is set.
+  void demote_irrevocable(ThreadCtx& tc, TxDesc* desc);
 
   /// detach_thread body; requires attach_mutex_ held.
   void detach_locked(ThreadCtx& tc);

@@ -54,7 +54,8 @@ struct alignas(kCacheLine) TxDesc {
   /// Serial-fallback mode: the holder of the global irrevocable token
   /// cannot be aborted by enemies (try_abort refuses), so its conflicts
   /// must wait. Written only by the owning thread before publication;
-  /// cleared by the owner before it self-aborts (abort_self demotes first).
+  /// cleared by the owner before any abort of its own finalizes (abort_self
+  /// and finish_attempt_abort both demote before their try_abort).
   std::atomic<bool> irrevocable{false};
 
   /// Identity of the transaction that aborted this one, registered by

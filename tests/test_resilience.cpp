@@ -73,6 +73,69 @@ TEST(SerialToken, NeverAdmitsTwoHolders) {
   EXPECT_EQ(lm.token_owner(), -1);
 }
 
+// ---- user exception escaping an irrevocable attempt ------------------------
+
+struct UserError : std::runtime_error {
+  UserError() : std::runtime_error("user error from irrevocable attempt") {}
+};
+
+TEST(SerialToken, UserExceptionEscapingIrrevocableAttemptDemotes) {
+  // Climb the ladder to the irrevocable level via restart(), then throw a
+  // user (non-TxAbort) exception out of the serial attempt. The unwind must
+  // demote before finalizing: release the token and abort the descriptor.
+  // Regression: try_abort refuses while the irrevocable flag is set, so an
+  // un-demoted unwind left a permanently kActive descriptor that a Greedy
+  // enemy would wait on forever (here: until the liveness deadline).
+  cm::Params params;
+  params.threads = 2;
+  stm::RuntimeConfig cfg;
+  cfg.liveness.enabled = true;
+  cfg.liveness.backoff_after = 1;
+  cfg.liveness.boost_after = 2;
+  cfg.liveness.serial_after = 3;
+  cfg.liveness.backoff_base_us = 0;
+  cfg.liveness.deadline_ns = 5'000'000'000;  // bounds the failure mode
+  cfg.liveness.watchdog_period_ns = 0;       // worker-driven ladder only
+  Runtime rt(cm::make_manager("Greedy", params), cfg);
+  TObject<Cell> cell(Cell{0});
+
+  ThreadCtx& tc = rt.attach_thread();
+  bool was_irrevocable = false;
+  EXPECT_THROW(rt.atomically(tc,
+                             [&](Tx& tx) {
+                               cell.open_write(tx)->value += 1;
+                               if (tc.current()->irrevocable.load()) {
+                                 was_irrevocable = true;
+                                 throw UserError{};
+                               }
+                               tx.restart();  // climbs the ladder
+                             }),
+               UserError);
+  ASSERT_TRUE(was_irrevocable) << "ladder never reached the serial level";
+
+  // Token released and the published descriptor finalized (not kActive).
+  EXPECT_EQ(rt.liveness()->token_owner(), -1);
+  stm::TxDesc* stale = rt.tx_of_slot(tc.slot());
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->status.load(), stm::TxStatus::kAborted);
+  EXPECT_FALSE(stale->irrevocable.load());
+
+  // A conflicting enemy must get the object without waiting on the corpse.
+  std::thread enemy([&] {
+    ThreadCtx& etc = rt.attach_thread();
+    rt.atomically(etc, [&](Tx& tx) { cell.open_write(tx)->value += 10; });
+  });
+  enemy.join();
+  EXPECT_EQ(cell.peek()->value, 10);  // the thrown attempt's write rolled back
+  EXPECT_EQ(rt.total_metrics().timeouts, 0u);
+
+  // The escaped attempt ended the logical transaction: the next one starts
+  // at level 0 and commits first try.
+  rt.atomically(tc, [&](Tx& tx) { cell.open_write(tx)->value += 100; });
+  EXPECT_EQ(cell.peek()->value, 110);
+  EXPECT_EQ(rt.liveness()->token_owner(), -1);
+}
+
 // ---- starvation: escalation reaches the serial fallback --------------------
 
 class StarvationCMs : public ::testing::TestWithParam<std::string> {};
