@@ -251,6 +251,64 @@ void BM_AllocPressureWriteTx(benchmark::State& state) {
 }
 BENCHMARK(BM_AllocPressureWriteTx)->Arg(1)->Arg(0);
 
+// ------------------------------------------------- read-set scaling -----
+// Invisible-read validation cost as the read-set size R grows. Each
+// iteration is one transaction reading R distinct objects plus one write
+// (the write exercises the commit-clock bump on every commit). Args are
+// (R, snapshot_ext): with the commit-clock fast path on, validation is
+// amortized O(1) per open, so validations_per_read stays ~0 and ns/read is
+// flat in R; with it off every open revalidates the whole set — O(R²) per
+// transaction, validations_per_read ~1 and ns/read growing linearly in R.
+void BM_ReadSetScaling(benchmark::State& state) {
+  const auto reads = static_cast<std::size_t>(state.range(0));
+  stm::RuntimeConfig cfg;
+  cfg.seed = g_seed;
+  cfg.visible_reads = false;
+  cfg.snapshot_ext = state.range(1) != 0;
+  cm::Params params;
+  params.threads = 1;
+  stm::Runtime rt(cm::make_manager("Polka", params), cfg);
+  stm::ThreadCtx& tc = rt.attach_thread();
+  std::vector<std::unique_ptr<stm::TObject<long>>> objs;
+  for (std::size_t i = 0; i < reads; ++i) {
+    objs.push_back(std::make_unique<stm::TObject<long>>(1));
+  }
+  stm::TObject<long> sink(0);
+  // Warm past slab carving and the dedup table's growth so the measured
+  // loop is steady-state.
+  for (int i = 0; i < 64; ++i) {
+    rt.atomically(tc, [&](stm::Tx& tx) {
+      long s = 0;
+      for (auto& o : objs) s += *o->open_read(tx);
+      *sink.open_write(tx) = s;
+    });
+  }
+  rt.reset_metrics();
+  for (auto _ : state) {
+    long sum = rt.atomically(tc, [&](stm::Tx& tx) {
+      long s = 0;
+      for (auto& o : objs) s += *o->open_read(tx);
+      *sink.open_write(tx) = s;
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  const stm::ThreadMetrics totals = rt.total_metrics();
+  const auto opens = static_cast<double>(state.iterations()) * static_cast<double>(reads);
+  state.counters["validations_per_read"] =
+      opens > 0 ? static_cast<double>(totals.validated_reads) / opens : 0.0;
+  state.counters["validation_passes"] = static_cast<double>(totals.validations);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(reads));
+  state.SetLabel(cfg.snapshot_ext ? "ext" : "noext");
+}
+BENCHMARK(BM_ReadSetScaling)
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({256, 0});
+
 // Write-heavy int-set contention at 8 threads, pooled vs. malloc'd. All
 // bench threads share one Runtime + list; the fixture is refcounted because
 // google-benchmark calls the function once per thread.

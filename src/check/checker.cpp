@@ -114,6 +114,7 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
   stm::RuntimeConfig rtc;
   rtc.seed = cfg.seed;
   rtc.visible_reads = cfg.visible_reads;
+  rtc.snapshot_ext = cfg.snapshot_ext;
   rtc.bugs = parse_bug(cfg.bug);
   if (cfg.liveness) {
     // Checker-friendly liveness: tight thresholds so short runs reach the
@@ -204,6 +205,19 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
   if (!lin.ok) {
     rr.violation = true;
     rr.diagnosis = "linearizability: " + lin.diagnosis;
+  }
+
+  // Ghost opacity oracle: a torn invisible-read snapshot is a violation even
+  // when the committed history still linearizes (commit-time validation
+  // usually aborts the victim before its stale view reaches the history —
+  // exactly why skip_cas_recheck-class bugs need this oracle, not the
+  // history check).
+  if (const std::uint64_t ov = exec.opacity_violations()) {
+    rr.violation = true;
+    if (!rr.diagnosis.empty()) rr.diagnosis += "\n";
+    const char* what = exec.first_opacity_violation();
+    rr.diagnosis += "opacity: " + std::to_string(ov) + " ghost-check failure(s): " +
+                    (what != nullptr ? what : "(unknown)");
   }
 
   if (cm::is_window_manager(cfg.cm)) {

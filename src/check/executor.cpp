@@ -69,6 +69,12 @@ Action VirtualExecutor::on_point(Point p, const void* /*object*/) noexcept {
   return granted_[static_cast<std::size_t>(vid)];
 }
 
+void VirtualExecutor::on_opacity_violation(const char* what) noexcept {
+  opacity_violations_.fetch_add(1, std::memory_order_acq_rel);
+  const char* expected = nullptr;
+  first_opacity_what_.compare_exchange_strong(expected, what, std::memory_order_acq_rel);
+}
+
 void VirtualExecutor::grant_next_locked() {
   if (registered_ < num_threads_) return;  // still in the start barrier
   for (;;) {

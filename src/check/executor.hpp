@@ -55,10 +55,25 @@ class VirtualExecutor final : public SchedulerHook {
   /// return the granted action.
   Action on_point(Point p, const void* object) noexcept override;
 
+  /// Runtime-side: ghost opacity oracle report (token held — see hooks.hpp).
+  void on_opacity_violation(const char* what) noexcept override;
+
   const std::vector<Decision>& log() const noexcept { return log_; }
   std::uint64_t steps() const noexcept { return step_; }
   /// True once the step budget forced free-running (run verdicts are void).
   bool over_budget() const noexcept { return free_run_.load(std::memory_order_relaxed); }
+
+  /// Ghost opacity-oracle reports collected this run (see
+  /// Runtime::open_read_invisible / validate_or_extend); nonzero means the
+  /// run observed a torn invisible-read snapshot even if the committed
+  /// history still linearizes. Read after workers have joined.
+  std::uint64_t opacity_violations() const noexcept {
+    return opacity_violations_.load(std::memory_order_acquire);
+  }
+  /// Diagnostic string of the first report (static storage), or null.
+  const char* first_opacity_violation() const noexcept {
+    return first_opacity_what_.load(std::memory_order_acquire);
+  }
 
  private:
   enum class State : std::uint8_t { kUnregistered, kWaiting, kRunning, kDone };
@@ -85,6 +100,10 @@ class VirtualExecutor final : public SchedulerHook {
   std::vector<Decision> log_;
   std::atomic<bool> free_run_{false};
   std::atomic<std::int64_t> vnow_;
+  // Atomic despite the token: reports can also arrive while free-running
+  // (over budget), where no token serializes the callers.
+  std::atomic<std::uint64_t> opacity_violations_{0};
+  std::atomic<const char*> first_opacity_what_{nullptr};
 };
 
 }  // namespace wstm::check

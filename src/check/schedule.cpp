@@ -87,6 +87,7 @@ std::string to_text(const Schedule& schedule) {
   out << "ops_per_thread " << c.ops_per_thread << '\n';
   out << "key_range " << c.key_range << '\n';
   out << "visible_reads " << (c.visible_reads ? 1 : 0) << '\n';
+  out << "snapshot_ext " << (c.snapshot_ext ? 1 : 0) << '\n';
   out << "prefill " << (c.prefill ? 1 : 0) << '\n';
   out << "op_mix " << c.op_mix << '\n';
   out << "update_percent " << c.update_percent << '\n';
@@ -145,6 +146,9 @@ Schedule schedule_from_text(const std::string& text) {
       else if (key == "ops_per_thread") c.ops_per_thread = as_u32();
       else if (key == "key_range") c.key_range = std::stol(sval);
       else if (key == "visible_reads") c.visible_reads = sval != "0";
+      // Absent in pre-fast-path files: they default to 1, matching the
+      // runtime default those runs implicitly had once the flag exists.
+      else if (key == "snapshot_ext") c.snapshot_ext = sval != "0";
       else if (key == "prefill") c.prefill = sval != "0";
       else if (key == "op_mix") c.op_mix = sval;
       else if (key == "update_percent") c.update_percent = as_u32();

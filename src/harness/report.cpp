@@ -53,6 +53,10 @@ void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
                static_cast<std::int64_t>(-1));
   cli.add_flag("visible-reads", "visible (paper) vs invisible (validated) reads", true);
   cli.add_flag("pooling", "recycle TxDesc/Locator/clone blocks through thread pools", true);
+  cli.add_flag("snapshot-ext",
+               "commit-clock snapshot extension for invisible reads (off = validate "
+               "the read set on every open)",
+               true);
   cli.add_flag("validate", "check structure invariants after each run", true);
   cli.add_flag("csv", "emit CSV instead of aligned tables", false);
   cli.add_flag("trace",
@@ -86,6 +90,7 @@ MatrixSpec matrix_from_cli(const Cli& cli) {
   spec.base.preempt_permille = static_cast<std::int32_t>(cli.get_int("preempt-permille"));
   spec.base.visible_reads = cli.get_bool("visible-reads");
   spec.base.pooling = cli.get_bool("pooling");
+  spec.base.snapshot_ext = cli.get_bool("snapshot-ext");
   spec.base.validate = cli.get_bool("validate");
   spec.repetitions = static_cast<unsigned>(cli.get_int("runs"));
   spec.key_range = cli.get_int("key-range");

@@ -21,6 +21,7 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   rt_config.seed = run.seed;
   rt_config.visible_reads = run.visible_reads;
   rt_config.pooling = run.pooling;
+  rt_config.snapshot_ext = run.snapshot_ext;
   if (run.preempt_permille < 0) {
     rt_config.preempt_yield_permille = hardware_cpus() < run.threads ? 25 : 0;
   } else {

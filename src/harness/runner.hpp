@@ -42,6 +42,11 @@ struct RunConfig {
   /// stm::RuntimeConfig::pooling). Off reproduces the allocator-bound
   /// pre-pooling numbers for overhead comparisons.
   bool pooling = true;
+  /// Invisible-read snapshot-extension fast path (see
+  /// stm::RuntimeConfig::snapshot_ext). Off reproduces the
+  /// validate-on-every-open O(R²) numbers for overhead comparisons;
+  /// no effect with visible reads.
+  bool snapshot_ext = true;
   /// When non-empty, record transaction events during the measured interval
   /// and write them here after the run: Chrome trace_event JSON if the path
   /// ends in ".json", the compact binary format otherwise (read it back

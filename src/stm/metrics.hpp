@@ -36,6 +36,24 @@ struct ThreadMetrics {
   /// of `aborts`; always 0 outside checker runs).
   std::uint64_t injected_aborts = 0;
 
+  // Invisible-read validation; all 0 in visible-read mode.
+  /// Full read-set validation passes executed (each O(R)).
+  std::uint64_t validations = 0;
+  /// Read-set entries checked across those passes (the real validation
+  /// cost: O(reads * R) without the commit-clock fast path).
+  std::uint64_t validated_reads = 0;
+  /// Passes that ran because the commit clock advanced past the attempt's
+  /// snapshot (LSA/TL2-style snapshot extension; subset of `validations`).
+  std::uint64_t extensions = 0;
+  /// Validation passes skipped by the snapshot fast path (clock unchanged).
+  std::uint64_t validations_skipped = 0;
+  /// Estimated time saved by skipped passes (skips x EWMA of measured
+  /// extension-pass cost; 0 until the first extension pass calibrates it).
+  std::int64_t validation_saved_ns = 0;
+  /// Re-opens of an object already in the read set (deduplicated, not
+  /// appended — without dedup R becomes the read *count*).
+  std::uint64_t dup_reads = 0;
+
   // Liveness layer (src/resilience/); all 0 unless the watchdog/escalation
   // ladder or chaos injection is enabled on the RuntimeConfig.
   /// Attempts that started at escalation level >= 1 (backoff or above).
@@ -64,6 +82,12 @@ struct ThreadMetrics {
     response_ns += other.response_ns;
     waits += other.waits;
     injected_aborts += other.injected_aborts;
+    validations += other.validations;
+    validated_reads += other.validated_reads;
+    extensions += other.extensions;
+    validations_skipped += other.validations_skipped;
+    validation_saved_ns += other.validation_saved_ns;
+    dup_reads += other.dup_reads;
     escalations += other.escalations;
     serial_fallbacks += other.serial_fallbacks;
     timeouts += other.timeouts;

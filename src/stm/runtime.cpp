@@ -21,6 +21,9 @@ void release_desc_ref(void* desc_ptr) { static_cast<TxDesc*>(desc_ptr)->release(
 Runtime::Runtime(cm::ManagerPtr manager, Config config)
     : manager_(std::move(manager)), config_(config) {
   if (!manager_) throw std::invalid_argument("Runtime requires a contention manager");
+  // Visible mode never validates, so the clock would be pure cache-line
+  // traffic there; cache the combined toggle for the hot paths.
+  snapshot_ext_on_ = config_.snapshot_ext && !config_.visible_reads;
   manager_->attach_recorder(config_.recorder);
   if (config_.liveness.enabled) {
     liveness_owned_ = std::make_unique<resilience::LivenessManager>(config_.liveness);
@@ -280,6 +283,13 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
   tc.current_ = desc;
   guard.armed = false;  // published: commit/abort cleanup owns the state now
   tc.waited_this_attempt_ = false;
+  tc.wrote_this_attempt_ = false;
+  if (snapshot_ext_on_) {
+    // Validated-snapshot timestamp: the read set is empty, so invariant I
+    // (DESIGN.md §5) holds vacuously at this sample and every later open
+    // may skip validation until the clock moves past it.
+    tc.snapshot_clock_ = commit_clock_->load(std::memory_order_seq_cst);
+  }
   if (trace::Recorder* rec = config_.recorder) {
     rec->record(tc.slot_, trace::EventKind::kBegin, desc->serial, is_retry ? 1 : 0);
     if (liveness_ != nullptr) {
@@ -316,10 +326,23 @@ bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
   }
   // Invisible reads: the read set must still be current at the commit
   // point (throws TxAbort into the atomically() retry loop on failure).
-  if (!config_.visible_reads) validate_reads(tc);
+  // The fast path applies here too: a skipped pass means no write committed
+  // since the last full validation, and this skip-check is then the
+  // attempt's serialization instant.
+  if (!config_.visible_reads) validate_or_extend(tc);
   // Chaos: delayed commit (sleep between the decision and the status CAS —
   // the classic window for lost-update bugs) or a spurious late abort.
   if (chaos_ != nullptr) [[unlikely]] chaos_at_commit(tc);
+  // Snapshot-extension clock: bump *before* the status transition, so in
+  // the seq_cst total order any reader that still samples the pre-bump
+  // value is ordered before this commit's version switch and its skipped
+  // validation stays sound (DESIGN.md §5). A bump for a CAS that then loses
+  // to a remote kill is harmless — the clock only has to dominate the set
+  // of successful write-commits, and spurious advances merely force an
+  // extra extension pass somewhere.
+  if (snapshot_ext_on_ && tc.wrote_this_attempt_) {
+    commit_clock_->fetch_add(1, std::memory_order_seq_cst);
+  }
   if (config_.bugs.blind_commit) [[unlikely]] {
     // SEEDED BUG: a plain store cannot detect a remote kill that landed
     // between the last open and here — the enemy already proceeded on our
@@ -370,6 +393,7 @@ void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
   }
   tc.read_set_.clear();
   tc.invis_reads_.clear();
+  tc.invis_index_.reset();
 
   // One clock read serves elapsed-time and response-time accounting (and
   // the trace event) — now_ns() is a measurable cost at millions of
@@ -565,10 +589,17 @@ void Runtime::injected_abort(ThreadCtx& tc) {
   abort_self(tc);
 }
 
-const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
+void Runtime::open_prologue(ThreadCtx& tc) {
   maybe_emulate_preemption(tc);
+  // One clock read per open, taken only when the watchdog consumes it —
+  // the same one-read discipline cleanup_attempt uses; configurations
+  // without the liveness layer never pay for now_ns() here.
   if (liveness_ != nullptr) liveness_->heartbeat(tc.slot_, now_ns());
   if (chaos_ != nullptr) [[unlikely]] chaos_at_open(tc);
+}
+
+const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
+  open_prologue(tc);
   if (!config_.visible_reads) return open_read_invisible(tc, obj);
   TxDesc* me = tc.current_;
   const std::uint64_t my_bit = 1ULL << tc.slot_;
@@ -654,7 +685,10 @@ const void* Runtime::open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
     // Incremental validation (DSTM): everything read so far must still be
     // current, and this object's locator must not have changed while we
     // validated — then the whole read set is a snapshot as of this instant.
-    validate_reads(tc);
+    // With the snapshot-extension fast path this is O(R) only when a write
+    // committed since the attempt's last full pass; otherwise the clock
+    // comparison inside stands in for the pass (amortized O(1)).
+    validate_or_extend(tc);
     // Schedule point inside the validate→recheck window: this is the exact
     // preemption the recheck below exists to survive, so the checker must be
     // able to interleave a writer here.
@@ -668,36 +702,137 @@ const void* Runtime::open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
         obj.loc_.load(std::memory_order_seq_cst) != l) {
       continue;
     }
+    // Ghost opacity oracle (checker builds only, under the schedule token
+    // so it cannot perturb exploration): the version about to be handed to
+    // the user must still be the committed one — no schedule point sits
+    // between the recheck above and the return, so a mismatch means the
+    // recheck was skipped (seeded skip_cas_recheck) or regressed and a
+    // writer slipped its commit into the validate→recheck window. Own
+    // acquisitions are exempt: they legitimately return the pre-acquire
+    // version via new_version while committed_view reports old_version.
+    if (config_.checker != nullptr && owner != me &&
+        committed_version(me, obj) != version) {
+      config_.checker->on_opacity_violation(
+          "open_read_invisible returned a version superseded before return");
+    }
     // Own acquisitions are protected by ownership, not validation.
-    if (owner != me) tc.invis_reads_.push_back({&obj, version});
+    if (owner != me) {
+      const std::uint32_t idx = tc.invis_index_.find(&obj);
+      if (idx != InvisReadIndex::kNotFound) {
+        // Re-read: the set already covers this object; appending again
+        // would make R the read *count* and validation O(reads · R). The
+        // recorded version must match what we just resolved — validation
+        // (or the fast-path invariant) keeps the entry current and the
+        // recheck pinned `version` to the same instant, so a mismatch is a
+        // torn snapshot. Defense in depth: abort rather than assert.
+        if (tc.invis_reads_[idx].version != version) abort_self(tc);
+        tc.metrics_.dup_reads++;
+      } else {
+        tc.invis_index_.insert(&obj, static_cast<std::uint32_t>(tc.invis_reads_.size()));
+        tc.invis_reads_.push_back({&obj, version});
+      }
+    }
     manager_->on_open(tc, *me);
     return version;
   }
 }
 
-const void* Runtime::committed_version(TxDesc* me, TObjectBase& obj) const {
-  Locator* l = obj.loc_.load(std::memory_order_acquire);
-  TxDesc* owner = l->owner;
-  if (owner == nullptr) return l->new_version;
-  // If we acquired the object after reading it, the version we observed
-  // became our locator's old_version (clone-on-write keeps it in place).
-  if (owner == me) return l->old_version;
-  return owner->status.load(std::memory_order_acquire) == TxStatus::kCommitted
-             ? l->new_version
-             : l->old_version;
+Runtime::CommittedView Runtime::committed_view(TxDesc* me, TObjectBase& obj) const {
+  for (;;) {
+    Locator* l = obj.loc_.load(std::memory_order_seq_cst);
+    TxDesc* owner = l->owner;
+    if (owner == nullptr) return {l->new_version, false};
+    // If we acquired the object after reading it, the version we observed
+    // became our locator's old_version (clone-on-write keeps it in place).
+    if (owner == me) return {l->old_version, false};
+    const TxStatus st = owner->status.load(std::memory_order_acquire);
+    // A replacer may have swapped the locator between the two loads above
+    // (only possible once `owner` resolved, i.e. committed or aborted): the
+    // status we just read then describes a superseded locator generation,
+    // and pairing it with l's version pointers can report a version that
+    // was already replaced — re-read instead of relying on lucky ordering.
+    // No schedule point separates the two loads, so the serialized checker
+    // cannot pin this window; it is exercised by the real-thread churn tests
+    // (InvisibleReads.ReadersSeeConsistentPairsUnderChurn, under TSan in CI).
+    // The analogous validate->recheck window in open_read_invisible does
+    // have a point and is pinned by
+    // InvisibleChecker.CommitInValidateRecheckWindowIsCaught.
+    if (obj.loc_.load(std::memory_order_seq_cst) != l) continue;
+    if (st == TxStatus::kCommitted) return {l->new_version, false};
+    // An *active* owner leaves old_version current, but its commit CAS may
+    // land at any moment — flag it so an extension pass cannot claim a
+    // clock value whose bump belongs to this still-pending writer.
+    return {l->old_version, st == TxStatus::kActive};
+  }
 }
 
-void Runtime::validate_reads(ThreadCtx& tc) {
+void Runtime::validate_reads(ThreadCtx& tc) { validate_pass(tc); }
+
+bool Runtime::validate_pass(ThreadCtx& tc) {
   TxDesc* me = tc.current_;
+  tc.metrics_.validations++;
+  tc.metrics_.validated_reads += tc.invis_reads_.size();
+  bool no_pending = true;
   for (const auto& r : tc.invis_reads_) {
-    if (committed_version(me, *r.obj) != r.version) abort_self(tc);
+    const CommittedView v = committed_view(me, *r.obj);
+    if (v.version != r.version) abort_self(tc);
+    no_pending &= !v.pending;
+  }
+  return no_pending;
+}
+
+void Runtime::validate_or_extend(ThreadCtx& tc) {
+  if (!snapshot_ext_on_) {
+    validate_pass(tc);
+    return;
+  }
+  const std::uint64_t clock = commit_clock_->load(std::memory_order_seq_cst);
+  if (clock == tc.snapshot_clock_) {
+    // Fast path: every successful write-commit bumps the clock before its
+    // status CAS, so an unchanged clock means no committed version anywhere
+    // has changed since the snapshot was validated (invariant I, DESIGN.md
+    // §5) — the pass would succeed and is skipped; this sample is the
+    // attempt's serialization instant.
+    tc.metrics_.validations_skipped++;
+    tc.metrics_.validation_saved_ns += tc.validate_pass_ewma_ns_;
+    if (config_.checker != nullptr) {
+      // Ghost check (checker builds only, under the schedule token): the
+      // skipped pass must have been guaranteed to succeed — a mismatch here
+      // is an opacity bug in the fast path itself, not in user schedules.
+      TxDesc* me = tc.current_;
+      for (const auto& r : tc.invis_reads_) {
+        if (committed_view(me, *r.obj).version != r.version) {
+          config_.checker->on_opacity_violation(
+              "snapshot fast path skipped a validation that would have failed");
+          break;
+        }
+      }
+    }
+    return;
+  }
+  // Extension pass (LSA/TL2-style): some write committed since the last
+  // pass, so validate the whole set once; on success it is a snapshot as of
+  // the sample above and the snapshot may advance to `clock` — unless a
+  // pending writer was seen: its bump may be the very advance we sampled
+  // with the commit CAS still in flight, and claiming `clock` would let
+  // that commit invalidate an entry while the clock appears unchanged.
+  const std::int64_t t0 = now_ns();
+  const bool no_pending = validate_pass(tc);
+  const std::int64_t pass_ns = now_ns() - t0;
+  tc.validate_pass_ewma_ns_ = tc.validate_pass_ewma_ns_ == 0
+                                  ? pass_ns
+                                  : (3 * tc.validate_pass_ewma_ns_ + pass_ns) / 4;
+  tc.metrics_.extensions++;
+  if (no_pending) tc.snapshot_clock_ = clock;
+  if (trace::Recorder* rec = config_.recorder) {
+    rec->record(tc.slot_, trace::EventKind::kSnapshotExtend, tc.current_->serial,
+                no_pending ? 1 : 0, trace::kNoEnemy,
+                static_cast<std::uint64_t>(tc.invis_reads_.size()), clock);
   }
 }
 
 void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
-  maybe_emulate_preemption(tc);
-  if (liveness_ != nullptr) liveness_->heartbeat(tc.slot_, now_ns());
-  if (chaos_ != nullptr) [[unlikely]] chaos_at_open(tc);
+  open_prologue(tc);
   TxDesc* me = tc.current_;
 
   for (;;) {
@@ -742,7 +877,8 @@ void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
 
     void* clone = obj.make_clone(tc.pool_, current);
     auto* fresh = new (util::Pool::allocate(tc.pool_, sizeof(Locator)))
-        Locator{me, current, clone, nullptr, obj.destroy_};
+        Locator{me, current, clone, nullptr, obj.destroy_,
+                snapshot_ext_on_ ? commit_clock_->load(std::memory_order_relaxed) : 0};
     me->add_ref();
     const check::Action cas_act = sched_point(check::Point::kCas, &obj);
     if (cas_act == check::Action::kInjectAbort) {
@@ -758,12 +894,13 @@ void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
       // with it.
       l->dead_version = dead;
       tc.ebr_.retire(l, &Locator::reclaim);
+      tc.wrote_this_attempt_ = true;  // commit must bump the snapshot clock
       if (config_.visible_reads) {
         // SEEDED BUG (skip_reader_abort): acquiring without resolving the
         // visible readers leaves them on snapshots this write supersedes.
         if (!config_.bugs.skip_reader_abort) resolve_readers(tc, obj);
       } else {
-        validate_reads(tc);  // DSTM validates on every open
+        validate_or_extend(tc);  // DSTM validates on every open
       }
       manager_->on_open(tc, *me);
       return fresh->new_version;

@@ -52,6 +52,72 @@ namespace wstm::stm {
 /// it propagate out of the atomically() lambda.
 struct TxAbort {};
 
+/// Open-addressed pointer→index map over the invisible read set, letting
+/// open_read_invisible dedup re-reads in O(1). Generation-stamped so the
+/// per-attempt reset is O(1) (no clearing); capacity persists across
+/// attempts, matching the read-set vectors' allocation discipline.
+class InvisReadIndex {
+ public:
+  static constexpr std::uint32_t kNotFound = UINT32_MAX;
+
+  void reset() noexcept {
+    ++gen_;
+    size_ = 0;
+  }
+
+  /// Index of `obj` in the read set, or kNotFound when absent.
+  std::uint32_t find(const TObjectBase* obj) const noexcept {
+    if (slots_.empty()) return kNotFound;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(obj) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.gen != gen_) return kNotFound;  // empty in this generation
+      if (s.obj == obj) return s.idx;
+    }
+  }
+
+  /// Pre: `obj` is absent. `idx` is its position in invis_reads_.
+  void insert(const TObjectBase* obj, std::uint32_t idx) {
+    if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(obj) & mask;
+    while (slots_[i].gen == gen_) i = (i + 1) & mask;
+    slots_[i] = Slot{obj, idx, gen_};
+    ++size_;
+  }
+
+ private:
+  struct Slot {
+    const TObjectBase* obj;
+    std::uint32_t idx;
+    std::uint64_t gen;
+  };
+
+  static std::size_t hash(const TObjectBase* obj) noexcept {
+    // Fibonacci hash over the pointer bits above the allocation alignment.
+    std::uint64_t v = reinterpret_cast<std::uintptr_t>(obj) >> 4;
+    v *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(v ^ (v >> 29));
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    // gen_ starts at 1, so zero-filled slots read as empty.
+    slots_.assign(old.empty() ? 64 : old.size() * 2, Slot{nullptr, 0, 0});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.gen != gen_) continue;
+      std::size_t i = hash(s.obj) & mask;
+      while (slots_[i].gen == gen_) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::uint64_t gen_ = 1;
+};
+
 /// Per-OS-thread context. Obtain via Runtime::attach_thread(); not
 /// thread-safe, use only from the owning thread.
 class ThreadCtx {
@@ -94,6 +160,16 @@ class ThreadCtx {
     const void* version;  // committed version observed at open
   };
   std::vector<InvisRead> invis_reads_;  // invisible mode: validation set
+  InvisReadIndex invis_index_;          // dedup map over invis_reads_
+  // Snapshot-extension fast path (invisible mode; see DESIGN.md §5).
+  /// Commit-clock value as of this attempt's last full read-set validation:
+  /// clock still equal ⟹ every recorded version is still the committed one.
+  std::uint64_t snapshot_clock_ = 0;
+  /// Acquired at least one object this attempt → bump the clock on commit.
+  bool wrote_this_attempt_ = false;
+  /// EWMA of the measured extension-pass cost, feeding the
+  /// validation_saved_ns estimate for skipped passes.
+  std::int64_t validate_pass_ewma_ns_ = 0;
   std::vector<TrackedAlloc> allocs_;
   std::vector<TrackedAlloc> commit_retires_;
   bool waited_this_attempt_ = false;
@@ -189,6 +265,15 @@ struct RuntimeConfig {
   /// object (the pre-pooling behavior), kept selectable so figures can
   /// report both sides of the ablation.
   bool pooling = true;
+
+  /// Invisible-read snapshot-extension fast path: a process-wide commit
+  /// clock (bumped by every successful write-commit) lets open_read skip
+  /// read-set validation while no write has committed since the attempt's
+  /// last full pass — amortized O(1) per open instead of O(R), the LSA/TL2
+  /// idea grafted onto the DSTM locator protocol (see DESIGN.md §5).
+  /// Ignored in visible mode. Off = validate on every open (the pre-clock
+  /// behavior), kept selectable so figures can A/B the pathology.
+  bool snapshot_ext = true;
 
   /// Optional deterministic-checker hook (non-owning; must outlive the
   /// Runtime). Null disables checking: every schedule point then costs one
@@ -357,12 +442,38 @@ class Runtime {
   /// in the kAbort event detail) and unwinds via abort_self.
   [[noreturn]] void injected_abort(ThreadCtx& tc);
 
-  /// Invisible-read mode: the committed version of `obj` as of now, given
-  /// that `me` owns its own acquisitions. Never blocks.
-  const void* committed_version(TxDesc* me, TObjectBase& obj) const;
+  /// Invisible-read mode: the committed version of `obj` as of now, plus
+  /// whether an *active* owner was pending on it (its commit CAS may land
+  /// after a clock bump we already sampled — see validate_or_extend).
+  /// Re-loads the locator after the owner-status read and retries on change,
+  /// so a commit that lands between the two loads is never misread as the
+  /// old version. Never blocks.
+  struct CommittedView {
+    const void* version;
+    bool pending;
+  };
+  CommittedView committed_view(TxDesc* me, TObjectBase& obj) const;
+  /// CommittedView::version shorthand for callers without a pending check.
+  const void* committed_version(TxDesc* me, TObjectBase& obj) const {
+    return committed_view(me, obj).version;
+  }
   /// Invisible-read mode: abort self unless every recorded read still
   /// matches the object's current committed version.
   void validate_reads(ThreadCtx& tc);
+  /// Snapshot-extension front end for validate_reads: skips the O(R) pass
+  /// while commit_clock_ still equals the attempt's validated snapshot,
+  /// otherwise runs one full extension pass and advances the snapshot —
+  /// unless a pending writer made the sampled clock value unclaimable.
+  void validate_or_extend(ThreadCtx& tc);
+  /// validate_reads body: one full pass over invis_reads_ (aborts self on
+  /// any mismatch), returning whether the whole set was free of pending
+  /// writers (the extension pass may only advance the snapshot if so).
+  bool validate_pass(ThreadCtx& tc);
+
+  /// Shared open_read/open_write prologue: preemption emulation, liveness
+  /// heartbeat (one now_ns, taken only when the watchdog consumes it), and
+  /// chaos injection.
+  void open_prologue(ThreadCtx& tc);
 
   /// Throws TxAbort if the calling transaction has been killed remotely.
   void ensure_alive(ThreadCtx& tc);
@@ -405,7 +516,15 @@ class Runtime {
 
   cm::ManagerPtr manager_;
   Config config_;
+  /// config_.snapshot_ext && !config_.visible_reads, cached so visible-mode
+  /// runs never touch the shared clock line.
+  bool snapshot_ext_on_ = false;
   ebr::Domain ebr_;
+  /// Process-wide commit clock: advanced by every successful write-commit
+  /// while the snapshot-extension fast path is on. All protocol-relevant
+  /// accesses are seq_cst — the opacity argument leans on the single total
+  /// order over {bump, reader clock sample, locator install/load}.
+  CacheAligned<std::atomic<std::uint64_t>> commit_clock_{};
   std::array<CacheAligned<std::atomic<TxDesc*>>, kMaxThreads> current_tx_{};
   std::array<std::unique_ptr<ThreadCtx>, kMaxThreads> threads_{};
   /// Detached contexts, kept until Runtime destruction so references held by

@@ -44,6 +44,12 @@ struct Locator {
   void* new_version;    // owner's private clone / the committed version
   void* dead_version;   // set by the replacer: the version that lost
   void (*destroy)(void*);
+  /// Commit-clock value at install time (0 for the initial locator and when
+  /// the snapshot-extension fast path is off). Diagnostics only: tells the
+  /// checker's opacity oracle and the trace how recent an acquisition is
+  /// relative to a reader's validated snapshot; never load-bearing for the
+  /// protocol itself.
+  std::uint64_t stamp;
 
   /// EBR deleter: frees the superseded version, drops the owner ref, and
   /// recycles the locator's block.
@@ -66,7 +72,7 @@ class TObjectBase {
   TObjectBase(void* initial_version, CloneFn clone, DestroyFn destroy,
               std::uint32_t payload_size)
       : loc_(util::pool_new<Locator>(
-            nullptr, Locator{nullptr, nullptr, initial_version, nullptr, destroy})),
+            nullptr, Locator{nullptr, nullptr, initial_version, nullptr, destroy, 0})),
         clone_(clone),
         destroy_(destroy),
         payload_size_(payload_size) {}

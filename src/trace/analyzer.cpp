@@ -109,6 +109,11 @@ Analyzer::Analyzer(std::vector<Event> events) : events_(std::move(events)) {
         if (e.detail & 1) f.bad_commits++;
         break;
       }
+      case EventKind::kSnapshotExtend: {
+        ts.extensions++;
+        ts.extension_reads += e.a0;
+        break;
+      }
       default:
         break;  // kWindowStart/kFrameAdvance/kCiUpdate need no aggregation
     }
@@ -227,6 +232,20 @@ std::string Analyzer::summary() const {
                   slot, ts.commits, ts.aborts, ts.conflicts, ts.waits,
                   static_cast<double>(ts.wasted_ns) / 1e6,
                   static_cast<double>(ts.caused_wasted_ns) / 1e6);
+    out += buf;
+  }
+
+  std::uint64_t extensions = 0, extension_reads = 0;
+  for (const auto& [slot, ts] : threads_) {
+    extensions += ts.extensions;
+    extension_reads += ts.extension_reads;
+  }
+  if (extensions > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "snapshot extensions: %" PRIu64 " passes over %" PRIu64
+                  " read-set entries (%.2f entries/pass)\n",
+                  extensions, extension_reads,
+                  static_cast<double>(extension_reads) / static_cast<double>(extensions));
     out += buf;
   }
 

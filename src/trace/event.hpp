@@ -60,9 +60,13 @@ enum class EventKind : std::uint8_t {
                     // 0 = released
   kChaos,           // chaos fault suffered: detail = ChaosInjector::Fault,
                     // a0 = injected sleep in microseconds
+  kSnapshotExtend,  // invisible-read extension pass (commit clock advanced
+                    // past the attempt's snapshot): a0 = read-set entries
+                    // validated, a1 = sampled clock value; detail bit0 = 1
+                    // when the snapshot advanced (no pending writer seen)
 };
 
-inline constexpr std::uint8_t kNumEventKinds = 16;
+inline constexpr std::uint8_t kNumEventKinds = 17;
 
 const char* kind_name(EventKind kind) noexcept;
 

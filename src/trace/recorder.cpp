@@ -75,6 +75,7 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::kEscalate: return "escalate";
     case EventKind::kSerialToken: return "serial_token";
     case EventKind::kChaos: return "chaos";
+    case EventKind::kSnapshotExtend: return "snapshot_extend";
   }
   return "?";
 }

@@ -121,6 +121,7 @@ TEST(Schedule, TextRoundTrip) {
   s.config.cm = "Adaptive-Dynamic";
   s.config.threads = 4;
   s.config.visible_reads = false;
+  s.config.snapshot_ext = false;  // non-default: must survive the round-trip
   s.config.op_mix = "insert-heavy";
   s.config.seed = 0xabcdef;
   s.config.strategy = "pct";
@@ -140,6 +141,7 @@ TEST(Schedule, TextRoundTrip) {
   EXPECT_EQ(back.config.cm, s.config.cm);
   EXPECT_EQ(back.config.threads, s.config.threads);
   EXPECT_EQ(back.config.visible_reads, s.config.visible_reads);
+  EXPECT_EQ(back.config.snapshot_ext, s.config.snapshot_ext);
   EXPECT_EQ(back.config.op_mix, s.config.op_mix);
   EXPECT_EQ(back.config.seed, s.config.seed);
   EXPECT_EQ(back.config.strategy, s.config.strategy);
@@ -163,6 +165,7 @@ TEST(Schedule, OldFilesWithoutNewKeysStillLoad) {
   const Schedule s = check::schedule_from_text(old_text);
   EXPECT_DOUBLE_EQ(s.config.faults.p_stall_any, 0.0);
   EXPECT_FALSE(s.config.liveness);
+  EXPECT_TRUE(s.config.snapshot_ext);  // pre-snapshot_ext files get the default
   EXPECT_EQ(s.decisions.size(), 1u);
 }
 

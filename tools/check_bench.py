@@ -1,13 +1,23 @@
 #!/usr/bin/env python3
-"""Gate on the alloc-pressure microbench output (BENCH_micro.json).
+"""Gate on microbench JSON output (Google Benchmark --benchmark_out).
 
-The pooled hot path must be allocation-free in steady state: the
-`BM_AllocPressureWriteTx/1` run (pooling on) reports global-allocator calls
-per transaction attempt via the interposed operator new, and anything above
-the threshold means a TxDesc/Locator/clone/EBR-chunk slipped back onto the
-global allocator.
+Two modes:
+
+* --mode alloc (default, BENCH_micro.json): the pooled hot path must be
+  allocation-free in steady state. `BM_AllocPressureWriteTx/1` (pooling on)
+  reports global-allocator calls per transaction attempt via the interposed
+  operator new; anything above the threshold means a TxDesc/Locator/clone/
+  EBR-chunk slipped back onto the global allocator.
+
+* --mode readval (BENCH_readval.json): the invisible-read snapshot-extension
+  fast path must keep validation amortized O(1) per open. The
+  `BM_ReadSetScaling/<R>/1` rows (extension on) report read-set entries
+  validated per open; anything above the threshold means opens regressed
+  toward the O(R) validate-on-every-open pathology.
 
 Usage: check_bench.py BENCH_micro.json [--max-allocs-per-attempt 0.5]
+       check_bench.py BENCH_readval.json --mode readval \
+           [--max-validations-per-read 1.05]
 """
 
 import argparse
@@ -15,83 +25,112 @@ import json
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("json_path")
-    parser.add_argument("--max-allocs-per-attempt", type=float, default=0.5)
-    args = parser.parse_args()
-
+def load_report(json_path: str):
     try:
-        with open(args.json_path, encoding="utf-8") as f:
+        with open(json_path, encoding="utf-8") as f:
             report = json.load(f)
     except FileNotFoundError:
         print(
-            f"check_bench: {args.json_path}: no such file "
+            f"check_bench: {json_path}: no such file "
             "(did the benchmark run produce it? check --benchmark_out)",
             file=sys.stderr,
         )
-        return 1
+        return None
     except OSError as e:
-        print(f"check_bench: {args.json_path}: cannot read: {e}", file=sys.stderr)
-        return 1
+        print(f"check_bench: {json_path}: cannot read: {e}", file=sys.stderr)
+        return None
     except json.JSONDecodeError as e:
         print(
-            f"check_bench: {args.json_path}: not valid JSON ({e}); "
+            f"check_bench: {json_path}: not valid JSON ({e}); "
             "a truncated file usually means the benchmark was killed mid-run",
             file=sys.stderr,
         )
-        return 1
+        return None
 
     if not isinstance(report, dict) or not isinstance(report.get("benchmarks"), list):
         print(
-            f"check_bench: {args.json_path}: no 'benchmarks' array; "
+            f"check_bench: {json_path}: no 'benchmarks' array; "
             "expected Google Benchmark --benchmark_out_format=json output",
             file=sys.stderr,
         )
-        return 1
+        return None
+    return report
 
-    pooled = [
+
+def gate(report, prefix: str, counter: str, limit: float, info_prefixes) -> int:
+    """Fail when any `prefix` iteration row's `counter` exceeds `limit`."""
+    gated = [
         b
         for b in report["benchmarks"]
-        if b.get("name", "").startswith("BM_AllocPressureWriteTx/1")
+        if b.get("name", "").startswith(prefix)
         and b.get("run_type", "iteration") == "iteration"
     ]
-    if not pooled:
-        print("check_bench: BM_AllocPressureWriteTx/1 missing from report", file=sys.stderr)
+    if not gated:
+        print(f"check_bench: {prefix} missing from report", file=sys.stderr)
         return 1
 
     failed = False
-    for b in pooled:
+    for b in gated:
         name = b.get("name", "<unnamed>")
-        allocs = b.get("allocs_per_attempt")
-        if not isinstance(allocs, (int, float)):
+        value = b.get(counter)
+        if not isinstance(value, (int, float)):
             print(
-                f"check_bench: {name} lacks a numeric allocs_per_attempt counter "
-                "(was the bench built with the alloc-interposing micro_stm target?)",
+                f"check_bench: {name} lacks a numeric {counter} counter "
+                "(was the bench built with the instrumented micro_stm target?)",
                 file=sys.stderr,
             )
             failed = True
             continue
-        verdict = "ok" if allocs <= args.max_allocs_per_attempt else "FAIL"
-        print(
-            f"check_bench: {name}: allocs_per_attempt={allocs:.4f} "
-            f"(limit {args.max_allocs_per_attempt}) {verdict}"
-        )
-        if allocs > args.max_allocs_per_attempt:
+        verdict = "ok" if value <= limit else "FAIL"
+        print(f"check_bench: {name}: {counter}={value:.4f} (limit {limit}) {verdict}")
+        if value > limit:
             failed = True
 
-    # Informational: show the malloc baseline and the 8-thread numbers.
+    # Informational: the ungated baseline rows for context in CI logs.
     for b in report["benchmarks"]:
         name = b.get("name", "")
-        if (
-            name.startswith("BM_AllocPressureWriteTx/0")
-            or name.startswith("BM_IntsetWriteHeavy")
-        ) and b.get("run_type", "iteration") == "iteration":
-            allocs = b.get("allocs_per_attempt")
-            if isinstance(allocs, (int, float)):
-                print(f"check_bench: (info) {name}: allocs_per_attempt={allocs:.4f}")
+        if any(name.startswith(p) for p in info_prefixes) and (
+            b.get("run_type", "iteration") == "iteration"
+        ):
+            value = b.get(counter)
+            if isinstance(value, (int, float)):
+                print(f"check_bench: (info) {name}: {counter}={value:.4f}")
 
     return 1 if failed else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--mode", choices=("alloc", "readval"), default="alloc")
+    parser.add_argument("--max-allocs-per-attempt", type=float, default=0.5)
+    parser.add_argument("--max-validations-per-read", type=float, default=1.05)
+    args = parser.parse_args()
+
+    report = load_report(args.json_path)
+    if report is None:
+        return 1
+
+    if args.mode == "alloc":
+        return gate(
+            report,
+            "BM_AllocPressureWriteTx/1",
+            "allocs_per_attempt",
+            args.max_allocs_per_attempt,
+            ("BM_AllocPressureWriteTx/0", "BM_IntsetWriteHeavy"),
+        )
+    # readval: only the /1 (extension-on) rows are gated; the /0 rows are the
+    # O(R) pathology shown for contrast.
+    failed = 0
+    for r in (8, 64, 256):
+        failed |= gate(
+            report,
+            f"BM_ReadSetScaling/{r}/1",
+            "validations_per_read",
+            args.max_validations_per_read,
+            (f"BM_ReadSetScaling/{r}/0",),
+        )
+    return failed
 
 
 if __name__ == "__main__":

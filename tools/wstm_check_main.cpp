@@ -39,6 +39,10 @@ void add_config_flags(wstm::Cli& cli, const CheckConfig& d) {
                static_cast<std::int64_t>(d.key_range));
   cli.add_flag("visible-reads", "visible (true) or invisible (false) read mode",
                d.visible_reads);
+  cli.add_flag("snapshot-ext",
+               "commit-clock snapshot-extension fast path for invisible reads "
+               "(off = validate the read set on every open)",
+               d.snapshot_ext);
   cli.add_flag("op-mix", "op mix: default|insert-heavy", d.op_mix);
   cli.add_flag("update-percent", "percent of single-key ops that write",
                static_cast<std::int64_t>(d.update_percent));
@@ -76,6 +80,7 @@ CheckConfig config_from_cli(const wstm::Cli& cli) {
   c.ops_per_thread = static_cast<unsigned>(cli.get_int("ops"));
   c.key_range = cli.get_int("key-range");
   c.visible_reads = cli.get_bool("visible-reads");
+  c.snapshot_ext = cli.get_bool("snapshot-ext");
   c.op_mix = cli.get_string("op-mix");
   c.update_percent = static_cast<std::uint32_t>(cli.get_int("update-percent"));
   c.pair_percent = static_cast<std::uint32_t>(cli.get_int("pair-percent"));
