@@ -1,0 +1,199 @@
+// Serving front-end scaling: admission policy × arrival rate, open loop.
+//
+// Sweeps the four admission policies over a ramp of Poisson arrival rates
+// on a Zipfian-skewed hashtable intset and reports, per cell, sustained
+// throughput (completions/s) and the sojourn percentiles. Below saturation
+// every policy tracks the offered rate; past it, the conflict-aware
+// policies (conflict-graph, window-frame) keep hot keys serialized in a
+// queue instead of aborting across workers, which shows up as higher
+// sustained throughput and a flatter p99 than round-robin's.
+//
+// --json=BENCH_serve.json writes a machine-readable report gated in CI by
+// tools/check_bench.py --mode serve (conflict-aware policies must either
+// out-sustain round-robin by the throughput ratio or beat its p99).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/open_loop.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Row {
+  std::string policy;
+  double rate = 0.0;
+  double offered_per_s = 0.0;
+  double completed_per_s = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double aborts_per_commit = 0.0;
+  // Conservation counters summed over runs: accepted == enqueued ==
+  // dequeued and completed + expired + cancelled == dequeued after a
+  // graceful drain — check_bench gates on these identities holding.
+  std::uint64_t accepted = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t max_depth = 0;
+  bool valid = true;
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows, const std::string& cm,
+                const std::string& benchmark, long threads, double zipf_alpha) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "fig_serve_scaling: cannot write %s\n", path.c_str());
+    return;
+  }
+  // host_cpus lets the CI gate decide whether the throughput/p99 ratio
+  // clauses are meaningful (an oversubscribed host measures the OS
+  // scheduler, not the admission policy).
+  out << "{\n  \"context\": {\"cm\": \"" << cm << "\", \"benchmark\": \"" << benchmark
+      << "\", \"threads\": " << threads << ", \"zipf_alpha\": " << zipf_alpha
+      << ", \"host_cpus\": " << std::thread::hardware_concurrency() << "},\n"
+      << "  \"serve\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"policy\": \"" << r.policy << "\", \"arrival_rate\": " << r.rate
+        << ", \"offered_per_s\": " << r.offered_per_s
+        << ", \"completed_per_s\": " << r.completed_per_s << ", \"p50_us\": " << r.p50_us
+        << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us
+        << ", \"aborts_per_commit\": " << r.aborts_per_commit
+        << ", \"accepted\": " << r.accepted << ", \"enqueued\": " << r.enqueued
+        << ", \"dequeued\": " << r.dequeued << ", \"completed\": " << r.completed
+        << ", \"cancelled\": " << r.cancelled << ", \"deadline_misses\": " << r.deadline_misses
+        << ", \"rejected_full\": " << r.rejected_full << ", \"expired\": " << r.expired
+        << ", \"max_depth\": " << r.max_depth << ", \"valid\": " << (r.valid ? "true" : "false")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "fig_serve_scaling: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wstm;
+  Cli cli;
+  cli.add_flag("policies", "admission policies to sweep (comma list)",
+               std::string("round-robin,key-hash,conflict-graph,window-frame"));
+  cli.add_flag("rates", "arrival rates to sweep, requests/s (comma list)",
+               std::string("250000,1000000"));
+  cli.add_flag("threads", "worker threads", std::int64_t{8});
+  cli.add_flag("ms", "production window per cell, milliseconds", std::int64_t{300});
+  cli.add_flag("runs", "repetitions per cell (means reported)", std::int64_t{1});
+  cli.add_flag("cm", "contention manager for the serving runtime", std::string("Polka"));
+  cli.add_flag("benchmark", "workload (must be open-loop capable)", std::string("skiplist"));
+  cli.add_flag("update", "update percentage", std::int64_t{100});
+  cli.add_flag("range", "key range", std::int64_t{64});
+  cli.add_flag("zipf-alpha", "Zipf skew of the key draw (0 = uniform)", 1.2);
+  cli.add_flag("producers", "open-loop producer threads", std::int64_t{2});
+  cli.add_flag("queue-capacity", "bounded queue capacity", std::int64_t{1024});
+  cli.add_flag("deadline-ms", "per-request relative deadline, 0 = none", std::int64_t{0});
+  cli.add_flag("seed", "base RNG seed", std::int64_t{42});
+  cli.add_flag("json", "write a machine-readable report here (empty = off)", std::string(""));
+  cli.add_flag("csv", "CSV tables instead of aligned text", false);
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto policies = cli.get_string_list("policies");
+  const std::string cm_name = cli.get_string("cm");
+  const std::string benchmark = cli.get_string("benchmark");
+  const long threads = cli.get_int("threads");
+  const double zipf_alpha = cli.get_double("zipf-alpha");
+  const unsigned runs = static_cast<unsigned>(cli.get_int("runs"));
+
+  std::vector<double> rates;
+  for (const std::string& r : cli.get_string_list("rates")) rates.push_back(std::stod(r));
+
+  std::cout << "== Serving front-end: policy x arrival rate, " << benchmark << " zipf "
+            << zipf_alpha << ", " << cm_name << ", M=" << threads << " ==\n\n";
+
+  std::vector<Row> rows;
+  bool all_valid = true;
+  for (const double rate : rates) {
+    std::vector<std::string> header{"policy \\ rate " + Table::num(rate, 0)};
+    header.insert(header.end(), {"completed/s", "p50 us", "p95 us", "p99 us", "aborts/commit",
+                                 "shed", "expired", "maxq"});
+    Table table(header);
+
+    for (const std::string& policy : policies) {
+      std::fprintf(stderr, "[rate=%.0f] %s ...\n", rate, policy.c_str());
+      RunningStats completed, p50, p95, p99, aborts;
+      Row row;
+      row.policy = policy;
+      row.rate = rate;
+      for (unsigned i = 0; i < runs; ++i) {
+        auto workload =
+            harness::make_workload(benchmark, static_cast<std::uint32_t>(cli.get_int("update")),
+                                   cli.get_int("range"), zipf_alpha);
+        harness::RunConfig run;
+        run.threads = static_cast<std::uint32_t>(threads);
+        run.duration_ms = cli.get_int("ms");
+        run.seed = static_cast<std::uint64_t>(cli.get_int("seed")) + i * 7919;
+
+        harness::ServeConfig serve_cfg;
+        serve_cfg.arrival_rate = rate;
+        serve_cfg.producers = static_cast<unsigned>(cli.get_int("producers"));
+        serve_cfg.policy = policy;
+        serve_cfg.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-capacity"));
+        serve_cfg.deadline_ms = cli.get_int("deadline-ms");
+
+        const harness::OpenLoopResult r =
+            harness::run_open_loop(cm_name, cm::Params{}, *workload, run, serve_cfg);
+        completed.add(r.completed_per_s);
+        p50.add(r.base.p50_us);
+        p95.add(r.base.p95_us);
+        p99.add(r.base.p99_us);
+        aborts.add(r.base.summary.aborts_per_commit);
+        row.offered_per_s += r.offered_per_s / runs;
+        row.accepted += r.server.accepted;
+        row.enqueued += r.server.enqueued;
+        row.dequeued += r.server.dequeued;
+        row.completed += r.base.totals.serve_completed;
+        row.cancelled += r.cancelled;
+        row.deadline_misses += r.deadline_misses;
+        row.rejected_full += r.server.rejected_full;
+        row.expired += r.expired;
+        row.max_depth = std::max(row.max_depth, r.server.max_depth);
+        if (!r.base.valid) {
+          row.valid = false;
+          all_valid = false;
+          std::fprintf(stderr, "VALIDATION FAILED [%s @ %.0f/s]: %s\n", policy.c_str(), rate,
+                       r.base.why.c_str());
+        }
+      }
+      row.completed_per_s = completed.mean();
+      row.p50_us = p50.mean();
+      row.p95_us = p95.mean();
+      row.p99_us = p99.mean();
+      row.aborts_per_commit = aborts.mean();
+      rows.push_back(row);
+
+      table.add_row({policy, Table::num(row.completed_per_s, 0), Table::num(row.p50_us, 1),
+                     Table::num(row.p95_us, 1), Table::num(row.p99_us, 1),
+                     Table::num(row.aborts_per_commit, 3),
+                     std::to_string(row.rejected_full), std::to_string(row.expired),
+                     std::to_string(row.max_depth)});
+    }
+    std::cout << (cli.get_bool("csv") ? table.to_csv() : table.to_text()) << "\n";
+  }
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) write_json(json_path, rows, cm_name, benchmark, threads, zipf_alpha);
+  return all_valid ? 0 : 2;
+}

@@ -24,6 +24,16 @@ class Recorder;
 
 namespace wstm::cm {
 
+/// Snapshot of a window manager's frame assignment, exposed so the serving
+/// layer (src/serve/) can reuse the frame schedule as a queue-placement
+/// policy. Non-window managers have no schedule and return false from
+/// frame_schedule().
+struct FrameSchedule {
+  std::uint64_t current_frame = 0;  ///< frame index "now" (global beacon)
+  std::uint32_t window_n = 1;       ///< N, transactions (frames) per window
+  std::uint64_t alpha = 1;          ///< delay range α = C/ln(MN), clamped [1, N]
+};
+
 class ContentionManager {
  public:
   virtual ~ContentionManager() = default;
@@ -78,6 +88,15 @@ class ContentionManager {
   /// `n_transactions` transactions. Non-window managers ignore it.
   virtual void on_window_start(stm::ThreadCtx& self, std::uint32_t n_transactions) {
     (void)self, (void)n_transactions;
+  }
+
+  /// Fills `out` with the manager's current frame schedule and returns true,
+  /// or returns false if the manager has none (all classic CMs). Callable
+  /// from any thread, including ones not attached to the runtime — the
+  /// serve-layer window-frame policy polls it on the submit path.
+  virtual bool frame_schedule(FrameSchedule* out) const {
+    (void)out;
+    return false;
   }
 
   /// Wires the optional event recorder (called by the Runtime; null when

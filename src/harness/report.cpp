@@ -22,6 +22,12 @@ std::string metric_name(Metric metric) {
       return "mean response (us)";
     case Metric::kRepeatConflictsPerCommit:
       return "repeat conflicts per commit";
+    case Metric::kP50Us:
+      return "p50 latency (us)";
+    case Metric::kP95Us:
+      return "p95 latency (us)";
+    case Metric::kP99Us:
+      return "p99 latency (us)";
   }
   return "?";
 }
@@ -77,6 +83,35 @@ void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
                "exercise the escalation ladder",
                false);
   cli.add_flag("chaos-intensity", "scale factor for --chaos fault probabilities", 1.0);
+  cli.add_flag("zipf-alpha",
+               "Zipfian key skew for the int-set benchmarks (0 = uniform; serve "
+               "experiments conventionally use 0.99)",
+               0.0);
+  cli.add_flag("serve",
+               "open-loop mode: Poisson arrivals through the serving front-end "
+               "(src/serve/) instead of closed-loop self-execution; --threads "
+               "becomes the worker count",
+               false);
+  cli.add_flag("arrival-rate", "total offered load with --serve, requests/second", 100'000.0);
+  cli.add_flag("policy",
+               "admission policy with --serve: round-robin | key-hash | "
+               "conflict-graph | window-frame",
+               std::string("round-robin"));
+  cli.add_flag("producers", "arrival-generator threads with --serve",
+               static_cast<std::int64_t>(1));
+  cli.add_flag("queues", "submit queues with --serve (0 = one per worker)",
+               static_cast<std::int64_t>(0));
+  cli.add_flag("queue-capacity", "bounded submit-queue capacity with --serve",
+               static_cast<std::int64_t>(1024));
+  cli.add_flag("serve-deadline-ms",
+               "relative per-request deadline with --serve (0 = none); queued "
+               "requests past it are shed",
+               static_cast<std::int64_t>(0));
+  cli.add_flag("steal", "idle serve workers steal from other queues", false);
+  cli.add_flag("block",
+               "full submit queue blocks the producer instead of shedding "
+               "(turns --serve back into a coupled loop; off = reject)",
+               false);
 }
 
 MatrixSpec matrix_from_cli(const Cli& cli) {
@@ -111,8 +146,67 @@ MatrixSpec matrix_from_cli(const Cli& cli) {
   if (cli.get_bool("chaos")) {
     spec.base.chaos = resilience::default_chaos(cli.get_double("chaos-intensity"));
   }
+  spec.zipf_alpha = cli.get_double("zipf-alpha");
+  spec.serve = cli.get_bool("serve");
+  spec.serve_config.arrival_rate = cli.get_double("arrival-rate");
+  spec.serve_config.policy = cli.get_string("policy");
+  spec.serve_config.producers = static_cast<unsigned>(cli.get_int("producers"));
+  spec.serve_config.n_queues = static_cast<unsigned>(cli.get_int("queues"));
+  spec.serve_config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-capacity"));
+  spec.serve_config.deadline_ms = cli.get_int("serve-deadline-ms");
+  spec.serve_config.steal = cli.get_bool("steal");
+  spec.serve_config.backpressure =
+      cli.get_bool("block") ? serve::Backpressure::kBlock : serve::Backpressure::kReject;
   return spec;
 }
+
+namespace {
+
+/// Serve-mode cell: averages open-loop runs into the RepeatedResult shape
+/// the table printer already consumes. kThroughput maps to sustained
+/// completions/s; the percentile metrics to sojourn percentiles.
+RepeatedResult run_serve_repeated(const std::string& cm_name, const MatrixSpec& spec,
+                                  const std::string& benchmark, const RunConfig& base) {
+  RepeatedResult agg;
+  RunningStats thr, aborts, elapsed_ms, wasted, response, repeats, p50, p95, p99;
+  for (unsigned i = 0; i < spec.repetitions; ++i) {
+    auto workload =
+        make_workload(benchmark, spec.update_percent, spec.key_range, spec.zipf_alpha);
+    RunConfig cfg = base;
+    cfg.seed = base.seed + i * 7919;
+    if (!base.trace_path.empty() && spec.repetitions > 1) {
+      cfg.trace_path = trace::path_with_suffix(base.trace_path, "-r" + std::to_string(i));
+    }
+    const OpenLoopResult r = run_open_loop(cm_name, spec.params, *workload, cfg,
+                                           spec.serve_config);
+    thr.add(r.completed_per_s);
+    aborts.add(r.base.summary.aborts_per_commit);
+    elapsed_ms.add(static_cast<double>(r.base.elapsed_ns) / 1e6);
+    wasted.add(r.base.summary.wasted_fraction);
+    response.add(r.base.summary.mean_response_us);
+    repeats.add(r.base.summary.repeat_conflicts_per_commit);
+    p50.add(r.base.p50_us);
+    p95.add(r.base.p95_us);
+    p99.add(r.base.p99_us);
+    if (!r.base.valid) {
+      agg.valid = false;
+      agg.why = r.base.why;
+    }
+  }
+  agg.mean_throughput = thr.mean();
+  agg.throughput_stddev = thr.stddev();
+  agg.mean_aborts_per_commit = aborts.mean();
+  agg.mean_elapsed_ms = elapsed_ms.mean();
+  agg.mean_wasted_fraction = wasted.mean();
+  agg.mean_response_us = response.mean();
+  agg.mean_repeat_conflicts = repeats.mean();
+  agg.mean_p50_us = p50.mean();
+  agg.mean_p95_us = p95.mean();
+  agg.mean_p99_us = p99.mean();
+  return agg;
+}
+
+}  // namespace
 
 bool run_matrix_and_print(const MatrixSpec& spec, Metric metric, std::ostream& out) {
   bool all_valid = true;
@@ -133,10 +227,16 @@ bool run_matrix_and_print(const MatrixSpec& spec, Metric metric, std::ostream& o
         }
         std::fprintf(stderr, "[%s] %s M=%lld ...\n", benchmark.c_str(), cm_name.c_str(),
                      static_cast<long long>(m));
-        const RepeatedResult r = run_repeated(
-            cm_name, spec.params,
-            [&] { return make_workload(benchmark, spec.update_percent, spec.key_range); },
-            cfg, spec.repetitions);
+        const RepeatedResult r =
+            spec.serve
+                ? run_serve_repeated(cm_name, spec, benchmark, cfg)
+                : run_repeated(
+                      cm_name, spec.params,
+                      [&] {
+                        return make_workload(benchmark, spec.update_percent, spec.key_range,
+                                             spec.zipf_alpha);
+                      },
+                      cfg, spec.repetitions);
         if (!r.valid) {
           all_valid = false;
           std::fprintf(stderr, "VALIDATION FAILED [%s/%s/M=%lld]: %s\n", benchmark.c_str(),
@@ -168,6 +268,18 @@ bool run_matrix_and_print(const MatrixSpec& spec, Metric metric, std::ostream& o
           case Metric::kRepeatConflictsPerCommit:
             value = r.mean_repeat_conflicts;
             precision = 3;
+            break;
+          case Metric::kP50Us:
+            value = r.mean_p50_us;
+            precision = 1;
+            break;
+          case Metric::kP95Us:
+            value = r.mean_p95_us;
+            precision = 1;
+            break;
+          case Metric::kP99Us:
+            value = r.mean_p99_us;
+            precision = 1;
             break;
         }
         row.push_back(Table::num(value, precision));

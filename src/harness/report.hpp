@@ -10,18 +10,24 @@
 #include <vector>
 
 #include "cm/registry.hpp"
+#include "harness/open_loop.hpp"
 #include "harness/runner.hpp"
 #include "util/cli.hpp"
 
 namespace wstm::harness {
 
 enum class Metric {
-  kThroughput,      // commits per second (Figs. 2, 3)
+  kThroughput,      // commits per second (Figs. 2, 3); open loop: sustained completions/s
   kAbortsPerCommit, // Fig. 4
   kElapsedMs,       // Fig. 5 (fixed-commit runs)
   kWastedFraction,
   kResponseUs,
   kRepeatConflictsPerCommit,
+  // Reservoir percentiles: per-operation wall time in the closed loop,
+  // submit-to-completion sojourn in --serve mode.
+  kP50Us,
+  kP95Us,
+  kP99Us,
 };
 
 std::string metric_name(Metric metric);
@@ -35,7 +41,14 @@ struct MatrixSpec {
   unsigned repetitions = 1;
   std::uint32_t update_percent = 100;
   long key_range = 256;
+  double zipf_alpha = 0.0;
   bool csv = false;
+  /// Open-loop mode (--serve): each cell runs run_open_loop with
+  /// `serve_config` instead of the closed-loop runner. The table's
+  /// kThroughput becomes sustained completions/s and the percentile
+  /// metrics become sojourn times.
+  bool serve = false;
+  ServeConfig serve_config;
 };
 
 /// Registers the flags shared by all figure benches (threads, seconds,

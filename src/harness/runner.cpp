@@ -10,6 +10,7 @@
 #include "trace/recorder.hpp"
 #include "trace/sink.hpp"
 #include "util/affinity.hpp"
+#include "util/stats.hpp"
 #include "util/timing.hpp"
 
 namespace wstm::harness {
@@ -52,6 +53,10 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> committed{0};
+  // Per-operation latency: every worker samples into one shared bounded
+  // reservoir, so percentile reporting costs fixed memory however long the
+  // run is (two clock reads + a fetch_add per operation).
+  LatencyReservoir latency(4096, run.seed);
 
   // An exception escaping a worker used to std::terminate the whole
   // benchmark; instead each worker records its error here (slot i), the
@@ -68,7 +73,9 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
       while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
       try {
         while (!stop.load(std::memory_order_acquire)) {
+          const std::int64_t op_begin = now_ns();
           workload.run_one(rt, tc, rng);
+          latency.record(now_ns() - op_begin);
           if (run.fixed_commits > 0 &&
               committed.fetch_add(1, std::memory_order_acq_rel) + 1 >= run.fixed_commits) {
             stop.store(true, std::memory_order_release);
@@ -103,6 +110,10 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   result.totals = rt.total_metrics();
   result.elapsed_ns = elapsed;
   result.summary = stm::summarize(result.totals, elapsed);
+  result.p50_us = latency.percentile_ns(50) / 1e3;
+  result.p95_us = latency.percentile_ns(95) / 1e3;
+  result.p99_us = latency.percentile_ns(99) / 1e3;
+  result.latency_count = latency.count();
   if (const resilience::LivenessManager* lm = rt.liveness()) {
     result.liveness_stats = lm->stats();
   }

@@ -67,6 +67,14 @@ struct RunResult {
   stm::MetricsSummary summary;
   stm::ThreadMetrics totals;
   std::int64_t elapsed_ns = 0;
+  /// Per-operation latency percentiles from a bounded-memory reservoir
+  /// (util::LatencyReservoir): closed loop samples run_one wall time,
+  /// open loop samples submit-to-completion sojourn. 0 without samples.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  /// Operations offered to the reservoir (not just the ones retained).
+  std::uint64_t latency_count = 0;
   bool valid = true;
   std::string why;
   /// One entry per worker thread that died on an exception (formatted
@@ -94,6 +102,11 @@ struct RepeatedResult {
   double mean_wasted_fraction = 0.0;
   double mean_response_us = 0.0;
   double mean_repeat_conflicts = 0.0;
+  /// Means of the per-run reservoir percentiles (runner.cpp samples every
+  /// run_one into a LatencyReservoir).
+  double mean_p50_us = 0.0;
+  double mean_p95_us = 0.0;
+  double mean_p99_us = 0.0;
   bool valid = true;
   std::string why;
 };

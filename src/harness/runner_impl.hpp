@@ -17,6 +17,9 @@ RepeatedResult run_repeated(const std::string& cm_name, cm::Params cm_params,
   RunningStats wasted;
   RunningStats response;
   RunningStats repeats;
+  RunningStats p50;
+  RunningStats p95;
+  RunningStats p99;
   for (unsigned i = 0; i < repetitions; ++i) {
     auto workload = factory();
     RunConfig cfg = run;
@@ -31,6 +34,9 @@ RepeatedResult run_repeated(const std::string& cm_name, cm::Params cm_params,
     wasted.add(r.summary.wasted_fraction);
     response.add(r.summary.mean_response_us);
     repeats.add(r.summary.repeat_conflicts_per_commit);
+    p50.add(r.p50_us);
+    p95.add(r.p95_us);
+    p99.add(r.p99_us);
     if (!r.valid) {
       agg.valid = false;
       agg.why = r.why;
@@ -43,6 +49,9 @@ RepeatedResult run_repeated(const std::string& cm_name, cm::Params cm_params,
   agg.mean_wasted_fraction = wasted.mean();
   agg.mean_response_us = response.mean();
   agg.mean_repeat_conflicts = repeats.mean();
+  agg.mean_p50_us = p50.mean();
+  agg.mean_p95_us = p95.mean();
+  agg.mean_p99_us = p99.mean();
   return agg;
 }
 

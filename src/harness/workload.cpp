@@ -10,6 +10,22 @@ namespace wstm::harness {
 IntSetWorkload::IntSetWorkload(IntSetConfig config)
     : config_(std::move(config)), set_(structs::make_intset(config_.kind)) {
   if (config_.key_range <= 0) throw std::invalid_argument("key_range must be positive");
+  if (config_.zipf_alpha > 0.0) {
+    zipf_ = std::make_unique<ZipfSampler>(static_cast<std::uint64_t>(config_.key_range),
+                                          config_.zipf_alpha);
+  }
+}
+
+long IntSetWorkload::draw_key(Xoshiro256& rng) const {
+  if (zipf_ != nullptr) return static_cast<long>(zipf_->sample(rng));
+  return static_cast<long>(rng.below(static_cast<std::uint64_t>(config_.key_range)));
+}
+
+std::uint32_t IntSetWorkload::draw_op(Xoshiro256& rng) const {
+  const std::uint64_t dice = rng.below(100);
+  if (dice < config_.update_percent / 2) return 1;  // insert
+  if (dice < config_.update_percent) return 2;      // remove
+  return 0;                                         // contains
 }
 
 void IntSetWorkload::populate(stm::Runtime& rt, stm::ThreadCtx& tc) {
@@ -23,17 +39,44 @@ void IntSetWorkload::populate(stm::Runtime& rt, stm::ThreadCtx& tc) {
 }
 
 void IntSetWorkload::run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) {
-  const std::uint64_t dice = rng.below(100);
-  const long key = static_cast<long>(rng.below(static_cast<std::uint64_t>(config_.key_range)));
-  if (dice < config_.update_percent / 2) {
+  const std::uint32_t op = draw_op(rng);
+  const long key = draw_key(rng);
+  if (op == 1) {
     const bool inserted = rt.atomically(tc, [&](stm::Tx& tx) { return set_->insert(tx, key); });
     if (inserted) net_inserts_.fetch_add(1, std::memory_order_relaxed);
-  } else if (dice < config_.update_percent) {
+  } else if (op == 2) {
     const bool removed = rt.atomically(tc, [&](stm::Tx& tx) { return set_->remove(tx, key); });
     if (removed) net_inserts_.fetch_sub(1, std::memory_order_relaxed);
   } else {
     rt.atomically(tc, [&](stm::Tx& tx) { return set_->contains(tx, key); });
   }
+}
+
+serve::TxRequest IntSetWorkload::build_request(Xoshiro256& rng) {
+  const std::uint32_t op = draw_op(rng);
+  const long key = draw_key(rng);
+  serve::TxRequest req;
+  req.arg = (static_cast<std::uint64_t>(key) << 2) | op;
+  req.key = static_cast<std::uint64_t>(key);
+  req.ctx = this;
+  req.fn = [](stm::Tx& tx, void* ctx, std::uint64_t arg) -> std::uint64_t {
+    auto* self = static_cast<IntSetWorkload*>(ctx);
+    const long k = static_cast<long>(arg >> 2);
+    switch (arg & 3) {
+      case 1: return self->set_->insert(tx, k) ? 1 : 0;
+      case 2: return self->set_->remove(tx, k) ? 1 : 0;
+      default: return self->set_->contains(tx, k) ? 1 : 0;
+    }
+  };
+  // The worker runs this exactly once post-commit, so the net-inserts
+  // ledger stays exact and validate() holds for served runs too.
+  req.done = [](void* ctx, std::uint64_t arg, std::uint64_t result) {
+    if (result == 0) return;
+    auto* self = static_cast<IntSetWorkload*>(ctx);
+    if ((arg & 3) == 1) self->net_inserts_.fetch_add(1, std::memory_order_relaxed);
+    if ((arg & 3) == 2) self->net_inserts_.fetch_sub(1, std::memory_order_relaxed);
+  };
+  return req;
 }
 
 bool IntSetWorkload::validate(std::string* why) const {
@@ -79,13 +122,15 @@ bool VacationWorkload::validate(std::string* why) const {
 }
 
 std::unique_ptr<Workload> make_workload(const std::string& benchmark,
-                                        std::uint32_t update_percent, long key_range) {
+                                        std::uint32_t update_percent, long key_range,
+                                        double zipf_alpha) {
   if (benchmark == "list" || benchmark == "rbtree" || benchmark == "skiplist" ||
       benchmark == "hashtable") {
     IntSetConfig cfg;
     cfg.kind = benchmark;
     cfg.key_range = key_range;
     cfg.update_percent = update_percent;
+    cfg.zipf_alpha = zipf_alpha;
     return std::make_unique<IntSetWorkload>(cfg);
   }
   if (benchmark == "kmeans") {

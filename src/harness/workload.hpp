@@ -11,9 +11,11 @@
 #include <memory>
 #include <string>
 
+#include "serve/request.hpp"
 #include "stm/runtime.hpp"
 #include "structs/intset.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 #include "vacation/client.hpp"
 
 namespace wstm::harness {
@@ -32,6 +34,20 @@ class Workload {
 
   /// Quiescent consistency check; stores a diagnostic in `why` on failure.
   virtual bool validate(std::string* why) const = 0;
+
+  // --- open-loop serving support (src/serve/, harness/open_loop.cpp) ---
+
+  /// True when the workload can package its operations as TxRequests.
+  virtual bool open_loop_capable() const { return false; }
+
+  /// Builds one random operation as a request (fn/ctx/arg/key filled; the
+  /// driver stamps enqueue/deadline). The request's ctx points into this
+  /// workload, so it must not outlive it. Only valid when
+  /// open_loop_capable(); the default returns an empty request.
+  virtual serve::TxRequest build_request(Xoshiro256& rng) {
+    (void)rng;
+    return {};
+  }
 };
 
 /// Int-set workload (List / RBTree / SkipList): update_percent of the
@@ -45,6 +61,9 @@ struct IntSetConfig {
   std::uint32_t update_percent = 100;
   /// Keys initially present (every other key, deterministic): range/2.
   bool prefill = true;
+  /// Zipfian key skew (0 = uniform, the closed-loop default; the serve
+  /// benchmarks use 0.99). Key 0 is the hottest rank — see util/zipf.hpp.
+  double zipf_alpha = 0.0;
 };
 
 class IntSetWorkload final : public Workload {
@@ -56,11 +75,23 @@ class IntSetWorkload final : public Workload {
   void run_one(stm::Runtime& rt, stm::ThreadCtx& tc, Xoshiro256& rng) override;
   bool validate(std::string* why) const override;
 
+  bool open_loop_capable() const override { return true; }
+  /// Request arg encodes (key << 2) | op; the conflict-key hint is the
+  /// intset key, and the done hook maintains net_inserts_ so validate()
+  /// works for served runs exactly as for closed-loop ones.
+  serve::TxRequest build_request(Xoshiro256& rng) override;
+
   const structs::TxIntSet& set() const noexcept { return *set_; }
 
  private:
+  /// Uniform or Zipfian per config_.zipf_alpha.
+  long draw_key(Xoshiro256& rng) const;
+  /// op for a mix dice roll: 1 = insert, 2 = remove, 0 = contains.
+  std::uint32_t draw_op(Xoshiro256& rng) const;
+
   IntSetConfig config_;
   std::unique_ptr<structs::TxIntSet> set_;
+  std::unique_ptr<ZipfSampler> zipf_;  // null when zipf_alpha == 0
   std::size_t initial_size_ = 0;
   std::atomic<long> net_inserts_{0};
 };
@@ -86,8 +117,9 @@ class VacationWorkload final : public Workload {
 /// paper's four) | kmeans (extension, see harness/kmeans.hpp).
 /// update_percent applies to the int-set benchmarks; for vacation it scales
 /// the admin share of the mix, for kmeans the cluster-count hotness.
+/// zipf_alpha skews the int-set key distribution (ignored elsewhere).
 std::unique_ptr<Workload> make_workload(const std::string& benchmark,
                                         std::uint32_t update_percent = 100,
-                                        long key_range = 256);
+                                        long key_range = 256, double zipf_alpha = 0.0);
 
 }  // namespace wstm::harness

@@ -28,6 +28,8 @@ ChaosConfig default_chaos(double intensity) {
   c.p_abort = clamp01(0.01 * intensity);
   c.p_delay_commit = clamp01(0.01 * intensity);
   c.delay_max_us = 50;
+  c.p_stall_dequeue = clamp01(0.005 * intensity);
+  c.dequeue_stall_max_us = 500;
   c.ebr_pressure_every = 32;
   c.ebr_pressure_burst = 64;
   return c;
@@ -62,6 +64,18 @@ ChaosInjector::Injection ChaosInjector::at_commit(Xoshiro256& rng, bool irrevoca
   if (!irrevocable && config_.p_abort > 0 && rng.uniform01() < config_.p_abort) {
     inj.fault = Fault::kSpuriousAbort;
     spurious_aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return inj;
+}
+
+ChaosInjector::Injection ChaosInjector::at_dequeue(Xoshiro256& rng) {
+  Injection inj;
+  if (config_.p_stall_dequeue > 0 && rng.uniform01() < config_.p_stall_dequeue) {
+    inj.fault = Fault::kStallDequeue;
+    inj.slept_us =
+        config_.dequeue_stall_max_us > 0 ? rng.below(config_.dequeue_stall_max_us + 1) : 0;
+    dequeue_stalls_.fetch_add(1, std::memory_order_relaxed);
+    sleep_us(inj.slept_us);
   }
   return inj;
 }

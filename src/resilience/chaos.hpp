@@ -33,6 +33,13 @@ struct ChaosConfig {
   double p_delay_commit = 0.0;     ///< per-commit chance to sleep before the status CAS
   std::uint32_t delay_max_us = 50;
 
+  /// Per-dequeue chance that a serve worker (src/serve/worker_pool.cpp)
+  /// stalls between pulling a request off its queue and starting the
+  /// transaction — a stand-in for a descheduled worker, exercising the
+  /// deadline path (requests age in the queue behind the stalled one).
+  double p_stall_dequeue = 0.0;
+  std::uint32_t dequeue_stall_max_us = 500;
+
   /// Every N commits per slot, retire a burst of dummy blocks through the
   /// thread's EBR handle to stress epoch advancement. 0 disables.
   std::uint32_t ebr_pressure_every = 0;
@@ -51,6 +58,7 @@ class ChaosInjector {
     kSpuriousAbort = 2,
     kDelayCommit = 3,
     kEbrPressure = 4,
+    kStallDequeue = 5,
   };
 
   struct Injection {
@@ -63,6 +71,7 @@ class ChaosInjector {
     std::uint64_t spurious_aborts = 0;
     std::uint64_t delayed_commits = 0;
     std::uint64_t ebr_bursts = 0;
+    std::uint64_t dequeue_stalls = 0;
   };
 
   explicit ChaosInjector(const ChaosConfig& config) : config_(config) {}
@@ -82,12 +91,17 @@ class ChaosInjector {
   /// (0 = none this commit). Caller retires while still pinned.
   std::uint32_t ebr_pressure_due(unsigned slot) noexcept;
 
+  /// Rolled by serve workers right after pulling a request off a queue.
+  /// The stall is slept inline, outside any transaction.
+  Injection at_dequeue(Xoshiro256& rng);
+
   Stats stats() const noexcept {
     Stats s;
     s.stalls = stalls_.load(std::memory_order_relaxed);
     s.spurious_aborts = spurious_aborts_.load(std::memory_order_relaxed);
     s.delayed_commits = delayed_commits_.load(std::memory_order_relaxed);
     s.ebr_bursts = ebr_bursts_.load(std::memory_order_relaxed);
+    s.dequeue_stalls = dequeue_stalls_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -98,6 +112,7 @@ class ChaosInjector {
   std::atomic<std::uint64_t> spurious_aborts_{0};
   std::atomic<std::uint64_t> delayed_commits_{0};
   std::atomic<std::uint64_t> ebr_bursts_{0};
+  std::atomic<std::uint64_t> dequeue_stalls_{0};
 };
 
 }  // namespace wstm::resilience

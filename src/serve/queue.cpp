@@ -1,0 +1,141 @@
+#include "serve/queue.hpp"
+
+#include <chrono>
+
+namespace wstm::serve {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BoundedQueue::BoundedQueue(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity < 2 ? 2 : capacity);
+  mask_ = cap - 1;
+  cells_ = std::make_unique<Cell[]>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+BoundedQueue::PushResult BoundedQueue::try_push(const TxRequest& req) {
+  if (closed_.load(std::memory_order_acquire)) return PushResult::kClosed;
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::int64_t dif = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        cell.req = req;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        note_depth(pos + 1 - head_.load(std::memory_order_acquire));
+        wake_consumer();
+        return PushResult::kOk;
+      }
+    } else if (dif < 0) {
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      return PushResult::kFull;
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+BoundedQueue::PushResult BoundedQueue::push_wait(const TxRequest& req) {
+  for (;;) {
+    const PushResult r = try_push(req);
+    if (r != PushResult::kFull) {
+      // kOk, or kClosed; a rejected-full count from the failed probe stays —
+      // it records real backpressure pressure even in block mode.
+      return r;
+    }
+    push_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    std::unique_lock<std::mutex> lk(wait_mutex_);
+    not_full_.wait_for(lk, std::chrono::milliseconds(1));
+    lk.unlock();
+    push_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool BoundedQueue::try_pop(TxRequest* out) {
+  std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const std::int64_t dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+    if (dif == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        *out = cell.req;
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        wake_producer();
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // empty
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool BoundedQueue::pop_wait(TxRequest* out, std::int64_t timeout_ns) {
+  if (try_pop(out)) return true;
+  if (closed_.load(std::memory_order_acquire)) return try_pop(out);
+  pop_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  // Re-check after announcing the wait: a push racing with the increment
+  // either sees the waiter (and notifies) or its item is visible here.
+  if (try_pop(out)) {
+    pop_waiters_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  {
+    std::unique_lock<std::mutex> lk(wait_mutex_);
+    not_empty_.wait_for(lk, std::chrono::nanoseconds(timeout_ns));
+  }
+  pop_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  return try_pop(out);
+}
+
+void BoundedQueue::close() {
+  closed_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(wait_mutex_);
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void BoundedQueue::note_depth(std::uint64_t depth) noexcept {
+  std::uint64_t seen = max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void BoundedQueue::wake_consumer() noexcept {
+  if (pop_waiters_.load(std::memory_order_seq_cst) == 0) return;
+  std::lock_guard<std::mutex> lk(wait_mutex_);
+  not_empty_.notify_one();
+}
+
+void BoundedQueue::wake_producer() noexcept {
+  if (push_waiters_.load(std::memory_order_seq_cst) == 0) return;
+  std::lock_guard<std::mutex> lk(wait_mutex_);
+  not_full_.notify_one();
+}
+
+BoundedQueue::Stats BoundedQueue::stats() const noexcept {
+  Stats s;
+  s.enqueued = tail_.load(std::memory_order_acquire);
+  s.dequeued = head_.load(std::memory_order_acquire);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.max_depth = max_depth_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace wstm::serve

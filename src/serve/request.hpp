@@ -1,0 +1,70 @@
+// Transaction request: the unit of work clients submit to the serving
+// front-end (src/serve/server.hpp).
+//
+// A request is a trivially-copyable POD so the bounded MPMC queues can move
+// it by memcpy with no per-request allocation: the transaction body is a
+// plain function pointer plus a context pointer and one integer argument —
+// enough to express every intset/OLTP-style operation — rather than a
+// std::function (whose capture would allocate on every submit at high
+// arrival rates). The body runs inside Runtime::atomically on a worker
+// thread and may execute many times (aborts retry it), so it must be pure
+// apart from TObject accesses; externally-visible effects belong in the
+// optional `done` hook, which the worker invokes exactly once after the
+// commit.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace wstm::stm {
+class Tx;
+}
+
+namespace wstm::serve {
+
+struct TxRequest {
+  /// Transaction body, run under atomically(); the return value is passed
+  /// to `done` and otherwise ignored.
+  using Fn = std::uint64_t (*)(stm::Tx& tx, void* ctx, std::uint64_t arg);
+  /// Post-commit completion hook (worker thread, outside any transaction).
+  /// Not called for requests that are shed (rejected, expired, cancelled).
+  using Done = void (*)(void* ctx, std::uint64_t arg, std::uint64_t result);
+
+  Fn fn = nullptr;
+  Done done = nullptr;
+  void* ctx = nullptr;
+  std::uint64_t arg = 0;
+
+  /// Conflict-key hint: an application-level identifier of the data this
+  /// transaction is likely to touch (intset key, account id, row id). The
+  /// admission scheduler clusters requests by this hint; it never affects
+  /// correctness, only queue placement.
+  std::uint64_t key = 0;
+
+  /// Stamped by TxServer::submit (util/timing.hpp epoch): sojourn time is
+  /// measured from here to completion.
+  std::int64_t enqueue_ns = 0;
+
+  /// Absolute deadline; 0 = none. A request still queued past its deadline
+  /// is shed (counted as expired, `done` not called); one that completes
+  /// after it counts as a deadline miss in the metrics.
+  std::int64_t deadline_ns = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<TxRequest>,
+              "TxRequest rides through the MPMC ring by plain copy");
+
+/// Outcome of TxServer::submit.
+enum class SubmitResult : std::uint8_t {
+  kAccepted = 0,
+  kRejectedFull,      // bounded queue full in kReject mode
+  kRejectedStopping,  // server (or runtime) is shutting down
+};
+
+/// What a full submit queue does to the producer.
+enum class Backpressure : std::uint8_t {
+  kReject = 0,  // shed the request (open-loop load testing, default)
+  kBlock,       // block the producer until space frees (closed coupling)
+};
+
+}  // namespace wstm::serve

@@ -68,6 +68,21 @@ struct ThreadMetrics {
   /// EBR pressure bursts).
   std::uint64_t chaos_faults = 0;
 
+  // Serving front-end (src/serve/), counted by worker threads; all 0 in
+  // closed-loop runs.
+  /// Requests this worker pulled off a submit queue.
+  std::uint64_t serve_dequeued = 0;
+  /// Requests that committed (the only ones whose `done` hook ran).
+  std::uint64_t serve_completed = 0;
+  /// Requests shed at dequeue because their deadline had already passed.
+  std::uint64_t serve_expired = 0;
+  /// Requests that completed, but after their deadline.
+  std::uint64_t serve_deadline_misses = 0;
+  /// Requests dropped because the runtime was shutting down.
+  std::uint64_t serve_cancelled = 0;
+  /// Submit-to-dequeue wall time summed over dequeued requests.
+  std::int64_t serve_queue_wait_ns = 0;
+
   void reset() { *this = ThreadMetrics{}; }
 
   ThreadMetrics& operator+=(const ThreadMetrics& other) {
@@ -93,6 +108,12 @@ struct ThreadMetrics {
     timeouts += other.timeouts;
     watchdog_flags += other.watchdog_flags;
     chaos_faults += other.chaos_faults;
+    serve_dequeued += other.serve_dequeued;
+    serve_completed += other.serve_completed;
+    serve_expired += other.serve_expired;
+    serve_deadline_misses += other.serve_deadline_misses;
+    serve_cancelled += other.serve_cancelled;
+    serve_queue_wait_ns += other.serve_queue_wait_ns;
     return *this;
   }
 };

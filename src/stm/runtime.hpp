@@ -404,8 +404,11 @@ class Runtime {
 
   /// Liveness manager when RuntimeConfig::liveness.enabled, else null.
   const resilience::LivenessManager* liveness() const noexcept { return liveness_; }
-  /// Chaos injector when RuntimeConfig::chaos.enabled, else null.
+  /// Chaos injector when RuntimeConfig::chaos.enabled, else null. The
+  /// non-const overload exists for the serve worker pool, whose at_dequeue
+  /// roll happens outside the Runtime's own hot path.
   const resilience::ChaosInjector* chaos() const noexcept { return chaos_; }
+  resilience::ChaosInjector* chaos() noexcept { return chaos_; }
 
  private:
   friend class Tx;

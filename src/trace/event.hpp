@@ -64,9 +64,17 @@ enum class EventKind : std::uint8_t {
                     // past the attempt's snapshot): a0 = read-set entries
                     // validated, a1 = sampled clock value; detail bit0 = 1
                     // when the snapshot advanced (no pending writer seen)
+
+  // Serving front-end (src/serve/). kEnqueue is recorded in the producer's
+  // ring (producers attach to the runtime for a slot when tracing),
+  // kDequeue in the worker's; `serial` carries the request's conflict key
+  // so enqueue/dequeue pairs can be joined offline.
+  kEnqueue,         // a0 = queue index, a1 = queue depth after the push
+  kDequeue,         // a0 = queue index, a1 = queue wait ns (submit→dequeue);
+                    // detail bit0 = 1 when the request was shed as expired
 };
 
-inline constexpr std::uint8_t kNumEventKinds = 17;
+inline constexpr std::uint8_t kNumEventKinds = 19;
 
 const char* kind_name(EventKind kind) noexcept;
 

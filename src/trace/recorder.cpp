@@ -76,6 +76,8 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::kSerialToken: return "serial_token";
     case EventKind::kChaos: return "chaos";
     case EventKind::kSnapshotExtend: return "snapshot_extend";
+    case EventKind::kEnqueue: return "enqueue";
+    case EventKind::kDequeue: return "dequeue";
   }
   return "?";
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/rng.hpp"
+
 namespace wstm {
 
 void RunningStats::add(double x) noexcept {
@@ -28,6 +30,51 @@ double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 double RunningStats::ci95_half_width() const noexcept {
   if (n_ < 2) return 0.0;
   return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+LatencyReservoir::LatencyReservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity < 16 ? 16 : capacity),
+      seed_(seed),
+      slots_(std::make_unique<std::atomic<std::int64_t>[]>(capacity_)) {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void LatencyReservoir::record(std::int64_t value_ns) noexcept {
+  const std::uint64_t n = n_.fetch_add(1, std::memory_order_relaxed);
+  if (n < capacity_) {
+    slots_[n].store(value_ns, std::memory_order_relaxed);
+    return;
+  }
+  // Algorithm R: keep with probability capacity/(n+1), replacing a uniform
+  // slot. The "coin" is splitmix64 over the admission number, so the
+  // decision sequence is deterministic per seed.
+  std::uint64_t s = n ^ seed_;
+  const std::uint64_t j = splitmix64(s) % (n + 1);
+  if (j < capacity_) {
+    slots_[j].store(value_ns, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> LatencyReservoir::samples() const {
+  const std::uint64_t n = n_.load(std::memory_order_relaxed);
+  const std::size_t held = n < capacity_ ? static_cast<std::size_t>(n) : capacity_;
+  std::vector<double> out;
+  out.reserve(held);
+  for (std::size_t i = 0; i < held; ++i) {
+    out.push_back(static_cast<double>(slots_[i].load(std::memory_order_relaxed)));
+  }
+  return out;
+}
+
+double LatencyReservoir::percentile_ns(double p) const { return percentile(samples(), p); }
+
+void LatencyReservoir::reset() noexcept {
+  n_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 double percentile(std::vector<double> samples, double p) {

@@ -1,7 +1,10 @@
 // Summary statistics for repeated experiment runs.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace wstm {
@@ -27,6 +30,40 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Bounded-memory uniform sample of a latency stream, shared by all
+/// threads: Vitter's Algorithm R over a fixed slot array, so percentile
+/// reporting costs O(capacity) memory no matter how many operations a run
+/// executes. Writers are lock-free — the admission counter is one
+/// fetch_add and slots are relaxed atomics (a torn pair of concurrent
+/// replacements just means one sample wins, which Algorithm R tolerates).
+/// The replacement index comes from a hash of the admission number rather
+/// than a shared RNG, keeping record() stateless and runs reproducible.
+/// Snapshot only after writers quiesce (end of the measured phase).
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 4096, std::uint64_t seed = 0x1a7e);
+
+  /// Records one latency sample (any int64 unit; callers use ns).
+  void record(std::int64_t value_ns) noexcept;
+
+  /// Total values offered (not just retained).
+  std::uint64_t count() const noexcept { return n_.load(std::memory_order_relaxed); }
+
+  /// Retained samples as doubles (unsorted) — feed to percentile().
+  std::vector<double> samples() const;
+
+  /// percentile() over the retained samples; 0 when empty.
+  double percentile_ns(double p) const;
+
+  void reset() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seed_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> slots_;
+  std::atomic<std::uint64_t> n_{0};
 };
 
 /// Percentile of a sample set (nearest-rank on a copy; p in [0,100]).

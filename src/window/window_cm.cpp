@@ -11,7 +11,10 @@
 namespace wstm::window {
 
 WindowCM::WindowCM(std::string name, WindowOptions options)
-    : name_(std::move(name)), options_(options), tau_ns_(options.tau_init_ns) {
+    : name_(std::move(name)),
+      options_(options),
+      tau_ns_(options.tau_init_ns),
+      epoch_ns_(now_ns()) {
   if (options_.threads == 0 || options_.threads > 64) {
     throw std::invalid_argument("WindowCM: threads must be in [1, 64]");
   }
@@ -167,6 +170,9 @@ void WindowCM::on_commit(stm::ThreadCtx& self, stm::TxDesc& tx) {
   st.ci.on_attempt_end(st.conflicted_this_attempt);
 
   const std::uint64_t commit_frame = frame_now(st);
+  // frame_schedule() beacon: last-writer-wins contention estimate. Lost
+  // updates only lag the serving layer's α by a commit or two.
+  c_beacon_.store(st.c_est, std::memory_order_relaxed);
   if (options_.dynamic_frames && st.registered) {
     controller_.complete_tx(st.assigned_frame, now);
     st.registered = false;
@@ -251,6 +257,24 @@ void WindowCM::note_tau_sample(std::int64_t sample_ns) {
   const std::int64_t cur = tau_ns_.load(std::memory_order_relaxed);
   const std::int64_t next = cur - cur / 8 + sample_ns / 8;
   tau_ns_.store(next > 0 ? next : 1, std::memory_order_relaxed);
+}
+
+bool WindowCM::frame_schedule(cm::FrameSchedule* out) const {
+  if (options_.dynamic_frames) {
+    out->current_frame = controller_.current_frame();
+  } else {
+    const std::int64_t phi =
+        frame_length_ns(options_.threads, options_.window_n, options_.frame_factor,
+                        options_.frame_log_exponent, tau_ns_.load(std::memory_order_relaxed));
+    const std::int64_t elapsed = now_ns() - epoch_ns_;
+    out->current_frame =
+        phi > 0 && elapsed > 0 ? static_cast<std::uint64_t>(elapsed / phi) : 0;
+  }
+  out->window_n = options_.window_n;
+  const double c = c_beacon_.load(std::memory_order_relaxed);
+  out->alpha = delay_range_alpha(c > 0.0 ? c : options_.initial_c, options_.threads,
+                                 options_.window_n);
+  return true;
 }
 
 WindowCM::ThreadSnapshot WindowCM::snapshot(unsigned slot) const {

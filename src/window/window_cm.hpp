@@ -80,6 +80,15 @@ class WindowCM final : public cm::ContentionManager {
   /// had just begun), and π2 = 0 — below every regular draw in [1, M].
   void on_boost(stm::ThreadCtx& self, stm::TxDesc& tx, std::uint32_t level) override;
 
+  /// Serving-layer frame query. Dynamic variants report the shared
+  /// controller frame directly. Static variants have only per-thread
+  /// FrameClocks that restart every window, so no global frame exists;
+  /// instead the schedule reports a synthetic frame — wall-clock elapsed
+  /// since construction over the current frame length Φ — which is monotone
+  /// apart from Φ re-estimates and advances at the same rate as the
+  /// per-thread clocks. α comes from a racy c_est beacon updated at commits.
+  bool frame_schedule(cm::FrameSchedule* out) const override;
+
   // --- introspection (tests, diagnostics, EXPERIMENTS.md reporting) ---
 
   struct ThreadSnapshot {
@@ -136,6 +145,11 @@ class WindowCM final : public cm::ContentionManager {
   WindowOptions options_;
   WindowController controller_;
   std::atomic<std::int64_t> tau_ns_;
+  /// frame_schedule() support: construction epoch for the static-variant
+  /// synthetic frame, and a last-writer-wins c_est beacon updated at every
+  /// commit so cross-thread readers never touch PerThread state.
+  std::int64_t epoch_ns_ = 0;
+  std::atomic<double> c_beacon_{0.0};
   std::array<CacheAligned<PerThread>, 64> state_{};
 };
 

@@ -15,9 +15,23 @@ Two modes:
   validated per open; anything above the threshold means opens regressed
   toward the O(R) validate-on-every-open pathology.
 
+* --mode serve (BENCH_serve.json, from bench/fig_serve_scaling --json): the
+  serving front-end must not lose requests. Always gated, per cell:
+  validation passed, accepted == enqueued == dequeued, and
+  completed + expired + cancelled == dequeued (exact conservation across
+  queue, workers, and drain). The conflict-aware-policy clause — at every
+  arrival rate, conflict-graph and window-frame each sustain at least
+  --min-throughput-ratio x round-robin's completions/s OR keep p99 at most
+  --max-p99-ratio x round-robin's — is additionally gated when the
+  producing host had at least `threads` CPUs (context.host_cpus); on an
+  oversubscribed host the ratios measure the OS scheduler, not the
+  admission policy, so they are reported informationally instead.
+
 Usage: check_bench.py BENCH_micro.json [--max-allocs-per-attempt 0.5]
        check_bench.py BENCH_readval.json --mode readval \
            [--max-validations-per-read 1.05]
+       check_bench.py BENCH_serve.json --mode serve \
+           [--min-throughput-ratio 1.2] [--max-p99-ratio 0.7]
 """
 
 import argparse
@@ -99,13 +113,106 @@ def gate(report, prefix: str, counter: str, limit: float, info_prefixes) -> int:
     return 1 if failed else 0
 
 
+def load_serve_report(json_path: str):
+    """BENCH_serve.json is fig_serve_scaling's own format, not Google
+    Benchmark's: {"context": {...}, "serve": [cell rows]}."""
+    try:
+        with open(json_path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: {json_path}: cannot load: {e}", file=sys.stderr)
+        return None
+    if not isinstance(report, dict) or not isinstance(report.get("serve"), list):
+        print(
+            f"check_bench: {json_path}: no 'serve' array; expected "
+            "fig_serve_scaling --json output",
+            file=sys.stderr,
+        )
+        return None
+    return report
+
+
+def gate_serve(report, min_throughput_ratio: float, max_p99_ratio: float) -> int:
+    rows = report["serve"]
+    if not rows:
+        print("check_bench: serve report has no cells", file=sys.stderr)
+        return 1
+    context = report.get("context", {})
+    failed = False
+
+    # Structural gates: every cell validated and conserved every request.
+    for r in rows:
+        name = f"{r.get('policy', '?')}@{r.get('arrival_rate', '?')}/s"
+        if not r.get("valid", False):
+            print(f"check_bench: {name}: workload validation FAILED", file=sys.stderr)
+            failed = True
+        accepted = r.get("accepted", -1)
+        enqueued = r.get("enqueued", -2)
+        dequeued = r.get("dequeued", -3)
+        accounted = r.get("completed", 0) + r.get("expired", 0) + r.get("cancelled", 0)
+        if not (accepted == enqueued == dequeued == accounted):
+            print(
+                f"check_bench: {name}: request conservation FAILED "
+                f"(accepted={accepted} enqueued={enqueued} dequeued={dequeued} "
+                f"completed+expired+cancelled={accounted})",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"check_bench: {name}: conserved {dequeued} requests, valid ok")
+
+    # Conflict-aware clause: per rate, conflict-graph and window-frame vs the
+    # round-robin baseline. Enforced only when the producing host had enough
+    # CPUs to actually run the workers concurrently.
+    host_cpus = context.get("host_cpus", 0)
+    threads = context.get("threads", 0)
+    enforce = isinstance(host_cpus, int) and isinstance(threads, int) and host_cpus >= threads
+    by_rate = {}
+    for r in rows:
+        by_rate.setdefault(r.get("arrival_rate"), {})[r.get("policy")] = r
+    for rate, policies in sorted(by_rate.items(), key=lambda kv: kv[0] or 0):
+        base = policies.get("round-robin")
+        if base is None or base.get("completed_per_s", 0) <= 0:
+            continue
+        for name in ("conflict-graph", "window-frame"):
+            row = policies.get(name)
+            if row is None:
+                continue
+            thr_ratio = row.get("completed_per_s", 0) / base["completed_per_s"]
+            base_p99 = base.get("p99_us", 0)
+            p99_ratio = row.get("p99_us", 0) / base_p99 if base_p99 > 0 else float("inf")
+            ok = thr_ratio >= min_throughput_ratio or p99_ratio <= max_p99_ratio
+            verdict = "ok" if ok else ("FAIL" if enforce else "miss (not gated)")
+            print(
+                f"check_bench: {name}@{rate}/s vs round-robin: "
+                f"throughput x{thr_ratio:.2f} (need >= {min_throughput_ratio}) "
+                f"p99 x{p99_ratio:.2f} (need <= {max_p99_ratio}) {verdict}"
+            )
+            if not ok and enforce:
+                failed = True
+    if not enforce:
+        print(
+            f"check_bench: ratio clause informational only "
+            f"(host_cpus={host_cpus} < threads={threads})"
+        )
+    return 1 if failed else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path")
-    parser.add_argument("--mode", choices=("alloc", "readval"), default="alloc")
+    parser.add_argument("--mode", choices=("alloc", "readval", "serve"), default="alloc")
     parser.add_argument("--max-allocs-per-attempt", type=float, default=0.5)
     parser.add_argument("--max-validations-per-read", type=float, default=1.05)
+    parser.add_argument("--min-throughput-ratio", type=float, default=1.2)
+    parser.add_argument("--max-p99-ratio", type=float, default=0.7)
     args = parser.parse_args()
+
+    if args.mode == "serve":
+        report = load_serve_report(args.json_path)
+        if report is None:
+            return 1
+        return gate_serve(report, args.min_throughput_ratio, args.max_p99_ratio)
 
     report = load_report(args.json_path)
     if report is None:

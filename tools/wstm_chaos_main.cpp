@@ -11,6 +11,14 @@
 //   * serial fallbacks stay a small fraction of commits (the ladder is a
 //     safety valve, not the steady state).
 //
+// --serve switches to the open-loop serving front-end (src/serve/) under
+// the same injection, now including stall-at-dequeue faults, and asserts
+// the serving progress floors instead: every accepted request is resolved
+// (completed, shed at its deadline, or cancelled — nothing starves in a
+// queue), completions happen, and completed-but-late requests stay below
+// --max-miss-fraction. A request sitting past its deadline is *shed and
+// counted*, never silently stuck — that accounting identity is the gate.
+//
 // Exit 0 when every cell holds its floors, 1 with a readable report
 // otherwise. CI runs this over all six window CM variants.
 #include <cstdio>
@@ -19,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/open_loop.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "harness/workload.hpp"
@@ -55,6 +64,14 @@ int main(int argc, char** argv) {
                "floor: serial fallbacks must stay below this fraction of commits", 0.05);
   cli.add_flag("key-range", "int-set key range", std::int64_t{64});
   cli.add_flag("update-percent", "percent of update transactions", std::int64_t{100});
+  cli.add_flag("serve", "open-loop serving front-end cells instead of the closed loop", false);
+  cli.add_flag("arrival-rate", "total offered load with --serve, requests/second", 50'000.0);
+  cli.add_flag("policy", "admission policy with --serve", std::string("conflict-graph"));
+  cli.add_flag("producers", "producer threads with --serve", std::int64_t{1});
+  cli.add_flag("serve-deadline-ms", "per-request deadline with --serve (0 = none)",
+               std::int64_t{100});
+  cli.add_flag("max-miss-fraction",
+               "floor with --serve: completed-past-deadline fraction of completions", 0.05);
   cli.add_flag("csv", "emit CSV instead of an aligned table", false);
   if (!cli.parse(argc, argv)) return 2;
 
@@ -75,11 +92,76 @@ int main(int argc, char** argv) {
   cm::Params params;
   params.threads = run.threads;
 
+  const bool serve_mode = cli.get_bool("serve");
+  const double max_miss_fraction = cli.get_double("max-miss-fraction");
   std::vector<CellVerdict> verdicts;
-  Table table({"cell", "commits", "aborts", "chaos", "escal", "serial", "flags", "verdict"});
+  Table table(serve_mode ? std::vector<std::string>{"cell", "offered", "completed", "expired",
+                                                    "cancel", "timeout", "misses", "chaos",
+                                                    "verdict"}
+                         : std::vector<std::string>{"cell", "commits", "aborts", "chaos",
+                                                    "escal", "serial", "flags", "verdict"});
 
   for (const std::string& benchmark : benchmarks) {
     for (const std::string& cm_name : cms) {
+      if (serve_mode) {
+        CellVerdict v;
+        v.label = benchmark + "/" + cm_name + "/" + cli.get_string("policy");
+        std::fprintf(stderr, "[chaos-serve] %s ...\n", v.label.c_str());
+        harness::OpenLoopResult r;
+        try {
+          auto workload = harness::make_workload(benchmark, update_percent, key_range);
+          harness::ServeConfig serve_cfg;
+          serve_cfg.arrival_rate = cli.get_double("arrival-rate");
+          serve_cfg.producers = static_cast<unsigned>(cli.get_int("producers"));
+          serve_cfg.policy = cli.get_string("policy");
+          serve_cfg.deadline_ms = cli.get_int("serve-deadline-ms");
+          r = harness::run_open_loop(cm_name, params, *workload, run, serve_cfg);
+        } catch (const std::exception& e) {
+          v.ok = false;
+          v.failures.push_back(std::string("run threw: ") + e.what());
+          verdicts.push_back(std::move(v));
+          table.add_row({verdicts.back().label, "-", "-", "-", "-", "-", "-", "-", "FAIL"});
+          continue;
+        }
+
+        const stm::ThreadMetrics& t = r.base.totals;
+        if (!r.base.valid) v.failures.push_back("validation failed: " + r.base.why);
+        if (t.serve_completed == 0) v.failures.push_back("no completions (silent hang)");
+        // The starvation gate: every dequeued request must be resolved —
+        // committed, shed at its deadline, cancelled by shutdown, or timed
+        // out by the liveness ladder. A gap means a request vanished into a
+        // queue past its deadline with nothing to show for it.
+        const std::uint64_t resolved =
+            t.serve_completed + t.serve_expired + t.serve_cancelled + t.timeouts;
+        if (resolved != t.serve_dequeued) {
+          v.failures.push_back("request starvation: dequeued " +
+                               std::to_string(t.serve_dequeued) + " but resolved only " +
+                               std::to_string(resolved));
+        }
+        if (r.server.accepted != r.server.enqueued || r.server.enqueued != r.server.dequeued) {
+          v.failures.push_back(
+              "queue accounting broken: accepted=" + std::to_string(r.server.accepted) +
+              " enqueued=" + std::to_string(r.server.enqueued) +
+              " dequeued=" + std::to_string(r.server.dequeued));
+        }
+        if (t.serve_completed > 0) {
+          const double miss_frac = static_cast<double>(t.serve_deadline_misses) /
+                                   static_cast<double>(t.serve_completed);
+          if (miss_frac > max_miss_fraction) {
+            v.failures.push_back("deadline-miss fraction " + std::to_string(miss_frac) +
+                                 " exceeds floor " + std::to_string(max_miss_fraction));
+          }
+        }
+        v.ok = v.failures.empty();
+
+        table.add_row({v.label, std::to_string(r.offered), std::to_string(t.serve_completed),
+                       std::to_string(t.serve_expired), std::to_string(t.serve_cancelled),
+                       std::to_string(t.timeouts), std::to_string(t.serve_deadline_misses),
+                       std::to_string(t.chaos_faults), v.ok ? "ok" : "FAIL"});
+        verdicts.push_back(std::move(v));
+        continue;
+      }
+
       CellVerdict v;
       v.label = benchmark + "/" + cm_name;
       std::fprintf(stderr, "[chaos] %s ...\n", v.label.c_str());
@@ -138,7 +220,8 @@ int main(int argc, char** argv) {
     for (const std::string& f : v.failures) std::fprintf(stderr, "  %s\n", f.c_str());
   }
   if (all_ok) {
-    std::printf("all %zu chaos cells held their progress floors\n", verdicts.size());
+    std::printf("all %zu chaos cells held their %sprogress floors\n", verdicts.size(),
+                serve_mode ? "serving " : "");
     return 0;
   }
   return 1;
