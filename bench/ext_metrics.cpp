@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   harness::register_matrix_flags(
       cli, /*benchmarks=*/"list,rbtree,skiplist,vacation",
       /*cms=*/"Online-Dynamic,Adaptive-Improved-Dynamic,Polka,Greedy,Priority",
-      /*threads=*/"4,16,32", /*ms=*/300, /*runs=*/1);
+      /*threads=*/"4,16,32,64", /*ms=*/300, /*runs=*/1);
   if (!cli.parse(argc, argv)) return 1;
   const harness::MatrixSpec spec = harness::matrix_from_cli(cli);
 

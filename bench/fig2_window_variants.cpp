@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   harness::register_matrix_flags(
       cli, /*benchmarks=*/"list,rbtree,skiplist,vacation",
       /*cms=*/"Online,Online-Dynamic,Adaptive,Adaptive-Improved,Adaptive-Improved-Dynamic",
-      /*threads=*/"1,2,4,8,16,32", /*ms=*/400, /*runs=*/1);
+      /*threads=*/"1,2,4,8,16,32,64", /*ms=*/400, /*runs=*/1);
   if (!cli.parse(argc, argv)) return 1;
   const harness::MatrixSpec spec = harness::matrix_from_cli(cli);
   std::cout << "== Fig. 2: window-based variants, throughput ==\n\n";

@@ -31,6 +31,7 @@ namespace {
 
 struct Row {
   std::string policy;
+  long threads = 0;
   double rate = 0.0;
   double offered_per_s = 0.0;
   double completed_per_s = 0.0;
@@ -54,7 +55,7 @@ struct Row {
 };
 
 void write_json(const std::string& path, const std::vector<Row>& rows, const std::string& cm,
-                const std::string& benchmark, long threads, double zipf_alpha) {
+                const std::string& benchmark, double zipf_alpha) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "fig_serve_scaling: cannot write %s\n", path.c_str());
@@ -63,13 +64,16 @@ void write_json(const std::string& path, const std::vector<Row>& rows, const std
   // host_cpus lets the CI gate decide whether the throughput/p99 ratio
   // clauses are meaningful (an oversubscribed host measures the OS
   // scheduler, not the admission policy).
+  // threads moved into each row (the sweep is now policy x rate x M), so
+  // the gate can compare host_cpus against the row's own worker count.
   out << "{\n  \"context\": {\"cm\": \"" << cm << "\", \"benchmark\": \"" << benchmark
-      << "\", \"threads\": " << threads << ", \"zipf_alpha\": " << zipf_alpha
+      << "\", \"zipf_alpha\": " << zipf_alpha
       << ", \"host_cpus\": " << std::thread::hardware_concurrency() << "},\n"
       << "  \"serve\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    out << "    {\"policy\": \"" << r.policy << "\", \"arrival_rate\": " << r.rate
+    out << "    {\"policy\": \"" << r.policy << "\", \"threads\": " << r.threads
+        << ", \"arrival_rate\": " << r.rate
         << ", \"offered_per_s\": " << r.offered_per_s
         << ", \"completed_per_s\": " << r.completed_per_s << ", \"p50_us\": " << r.p50_us
         << ", \"p95_us\": " << r.p95_us << ", \"p99_us\": " << r.p99_us
@@ -94,7 +98,8 @@ int main(int argc, char** argv) {
                std::string("round-robin,key-hash,conflict-graph,window-frame"));
   cli.add_flag("rates", "arrival rates to sweep, requests/s (comma list)",
                std::string("250000,1000000"));
-  cli.add_flag("threads", "worker threads", std::int64_t{8});
+  cli.add_flag("threads", "worker thread counts M to sweep (comma list)",
+               std::string("8"));
   cli.add_flag("ms", "production window per cell, milliseconds", std::int64_t{300});
   cli.add_flag("runs", "repetitions per cell (means reported)", std::int64_t{1});
   cli.add_flag("cm", "contention manager for the serving runtime", std::string("Polka"));
@@ -113,7 +118,7 @@ int main(int argc, char** argv) {
   const auto policies = cli.get_string_list("policies");
   const std::string cm_name = cli.get_string("cm");
   const std::string benchmark = cli.get_string("benchmark");
-  const long threads = cli.get_int("threads");
+  const std::vector<std::int64_t> thread_counts = cli.get_int_list("threads");
   const double zipf_alpha = cli.get_double("zipf-alpha");
   const unsigned runs = static_cast<unsigned>(cli.get_int("runs"));
 
@@ -121,21 +126,25 @@ int main(int argc, char** argv) {
   for (const std::string& r : cli.get_string_list("rates")) rates.push_back(std::stod(r));
 
   std::cout << "== Serving front-end: policy x arrival rate, " << benchmark << " zipf "
-            << zipf_alpha << ", " << cm_name << ", M=" << threads << " ==\n\n";
+            << zipf_alpha << ", " << cm_name << " ==\n\n";
 
   std::vector<Row> rows;
   bool all_valid = true;
+  for (const std::int64_t threads : thread_counts) {
   for (const double rate : rates) {
-    std::vector<std::string> header{"policy \\ rate " + Table::num(rate, 0)};
+    std::vector<std::string> header{"policy \\ M=" + std::to_string(threads) + " rate " +
+                                    Table::num(rate, 0)};
     header.insert(header.end(), {"completed/s", "p50 us", "p95 us", "p99 us", "aborts/commit",
                                  "shed", "expired", "maxq"});
     Table table(header);
 
     for (const std::string& policy : policies) {
-      std::fprintf(stderr, "[rate=%.0f] %s ...\n", rate, policy.c_str());
+      std::fprintf(stderr, "[M=%lld rate=%.0f] %s ...\n", static_cast<long long>(threads), rate,
+                   policy.c_str());
       RunningStats completed, p50, p95, p99, aborts;
       Row row;
       row.policy = policy;
+      row.threads = static_cast<long>(threads);
       row.rate = rate;
       for (unsigned i = 0; i < runs; ++i) {
         auto workload =
@@ -173,8 +182,8 @@ int main(int argc, char** argv) {
         if (!r.base.valid) {
           row.valid = false;
           all_valid = false;
-          std::fprintf(stderr, "VALIDATION FAILED [%s @ %.0f/s]: %s\n", policy.c_str(), rate,
-                       r.base.why.c_str());
+          std::fprintf(stderr, "VALIDATION FAILED [%s M=%lld @ %.0f/s]: %s\n", policy.c_str(),
+                       static_cast<long long>(threads), rate, r.base.why.c_str());
         }
       }
       row.completed_per_s = completed.mean();
@@ -192,8 +201,9 @@ int main(int argc, char** argv) {
     }
     std::cout << (cli.get_bool("csv") ? table.to_csv() : table.to_text()) << "\n";
   }
+  }
 
   const std::string json_path = cli.get_string("json");
-  if (!json_path.empty()) write_json(json_path, rows, cm_name, benchmark, threads, zipf_alpha);
+  if (!json_path.empty()) write_json(json_path, rows, cm_name, benchmark, zipf_alpha);
   return all_valid ? 0 : 2;
 }

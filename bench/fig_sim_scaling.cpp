@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   using namespace wstm;
   Cli cli;
-  cli.add_flag("threads", "comma-separated M values", std::string("1,2,4,8,16,32"));
+  cli.add_flag("threads", "comma-separated M values", std::string("1,2,4,8,16,32,64"));
   cli.add_flag("n", "transactions per thread N (paper: 50)", static_cast<std::int64_t>(50));
   cli.add_flag("resources", "global resource pool size", static_cast<std::int64_t>(64));
   cli.add_flag("accesses", "resources per transaction", static_cast<std::int64_t>(2));

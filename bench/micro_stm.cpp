@@ -321,13 +321,22 @@ std::mutex g_shared_mutex;
 SharedStm* g_shared = nullptr;
 int g_shared_refs = 0;
 
-SharedStm& acquire_shared(bool pooling, std::uint32_t threads) {
+// clock_mode: 0 = visible reads (the paper's default; clock untouched),
+// 1 = invisible reads + snapshot extension + deferred clock (GV5-style),
+// 2 = invisible reads + snapshot extension + eager clock (one fetch_add
+// per write-commit) — the A/B for the shared-line reduction claim.
+SharedStm& acquire_shared(bool pooling, int clock_mode, std::uint32_t threads) {
   std::lock_guard<std::mutex> lock(g_shared_mutex);
   if (g_shared_refs++ == 0) {
     auto* s = new SharedStm;
     stm::RuntimeConfig cfg;
     cfg.seed = g_seed;
     cfg.pooling = pooling;
+    if (clock_mode != 0) {
+      cfg.visible_reads = false;
+      cfg.snapshot_ext = true;
+      cfg.deferred_clock = clock_mode == 1;
+    }
     cfg.preempt_yield_permille = hardware_cpus() < threads ? 25 : 0;
     cm::Params params;
     params.threads = threads;
@@ -353,7 +362,9 @@ void release_shared() {
 
 void BM_IntsetWriteHeavy(benchmark::State& state) {
   const bool pooling = state.range(0) != 0;
-  SharedStm& shared = acquire_shared(pooling, static_cast<std::uint32_t>(state.threads()));
+  const int clock_mode = static_cast<int>(state.range(1));
+  SharedStm& shared =
+      acquire_shared(pooling, clock_mode, static_cast<std::uint32_t>(state.threads()));
   stm::ThreadCtx& tc = shared.rt->attach_thread();
   Xoshiro256 rng(0x5eedULL + static_cast<std::uint64_t>(state.thread_index()));
   const std::uint64_t allocs_before = t_alloc_count;
@@ -374,11 +385,26 @@ void BM_IntsetWriteHeavy(benchmark::State& state) {
       benchmark::Counter(attempts > 0 ? allocs / attempts : 0.0,
                          benchmark::Counter::kAvgThreads);
   state.counters["attempts"] = benchmark::Counter(attempts, benchmark::Counter::kIsRate);
-  state.SetLabel(pooling ? "pooled" : "malloc");
+  // Shared commit-clock line traffic (summed across bench threads): in
+  // deferred mode clock_bumps must sit far below deferred_stamps (the
+  // write-commit count); in eager mode clock_bumps IS the commit count.
+  state.counters["clock_bumps"] =
+      benchmark::Counter(static_cast<double>(after.clock_bumps - before.clock_bumps));
+  state.counters["deferred_stamps"] =
+      benchmark::Counter(static_cast<double>(after.deferred_stamps - before.deferred_stamps));
+  std::string label = pooling ? "pooled" : "malloc";
+  if (clock_mode != 0) label += clock_mode == 1 ? "+deferred" : "+eager";
+  state.SetLabel(label);
   shared.rt->detach_thread(tc);
   release_shared();
 }
-BENCHMARK(BM_IntsetWriteHeavy)->Threads(8)->Arg(1)->Arg(0)->UseRealTime();
+BENCHMARK(BM_IntsetWriteHeavy)
+    ->Threads(8)
+    ->Args({1, 0})
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->UseRealTime();
 
 }  // namespace
 

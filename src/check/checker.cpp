@@ -59,9 +59,12 @@ stm::RuntimeConfig::DebugFaults parse_bug(const std::string& bug) {
     b.skip_reader_abort = true;
   } else if (bug == "skip-cas-recheck") {
     b.skip_cas_recheck = true;
+  } else if (bug == "stamp-no-pending") {
+    b.stamp_no_pending = true;
   } else {
-    throw std::invalid_argument("unknown seeded bug \"" + bug +
-                                "\" (none|blind-commit|skip-reader-abort|skip-cas-recheck)");
+    throw std::invalid_argument(
+        "unknown seeded bug \"" + bug +
+        "\" (none|blind-commit|skip-reader-abort|skip-cas-recheck|stamp-no-pending)");
   }
   return b;
 }
@@ -115,6 +118,7 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
   rtc.seed = cfg.seed;
   rtc.visible_reads = cfg.visible_reads;
   rtc.snapshot_ext = cfg.snapshot_ext;
+  rtc.deferred_clock = cfg.deferred_clock;
   rtc.bugs = parse_bug(cfg.bug);
   if (cfg.liveness) {
     // Checker-friendly liveness: tight thresholds so short runs reach the

@@ -1,9 +1,31 @@
 #include "ebr/ebr.hpp"
 
+#include <functional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace wstm::ebr {
+
+namespace {
+
+/// Shard the calling thread most plausibly shares a NUMA node with: its
+/// current CPU on Linux, a stable hash of the thread identity elsewhere
+/// (still spreads attach traffic, just without locality).
+unsigned home_shard() noexcept {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu >= 0) return static_cast<unsigned>(cpu) % Domain::kShards;
+#endif
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<unsigned>(tid) % Domain::kShards;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- Handle --
 
@@ -13,6 +35,7 @@ Handle::Handle(Handle&& other) noexcept
       pinned_(std::exchange(other.pinned_, false)),
       retire_count_(other.retire_count_),
       pool_(std::exchange(other.pool_, nullptr)),
+      sync_counter_(std::exchange(other.sync_counter_, nullptr)),
       bins_(other.bins_) {
   for (Bin& bin : other.bins_) bin = Bin{};
 }
@@ -25,6 +48,7 @@ Handle& Handle::operator=(Handle&& other) noexcept {
     pinned_ = std::exchange(other.pinned_, false);
     retire_count_ = other.retire_count_;
     pool_ = std::exchange(other.pool_, nullptr);
+    sync_counter_ = std::exchange(other.sync_counter_, nullptr);
     bins_ = other.bins_;
     for (Bin& bin : other.bins_) bin = Bin{};
   }
@@ -86,7 +110,7 @@ void Handle::retire(void* ptr, void (*deleter)(void*)) {
   }
   push_retired(bin, Retired{ptr, deleter});
   if (++retire_count_ % Domain::kAdvanceInterval == 0) {
-    domain_->try_advance();
+    if (domain_->try_advance() && sync_counter_ != nullptr) ++*sync_counter_;
     collect(domain_->global_epoch_.load(std::memory_order_acquire));
   }
 }
@@ -117,11 +141,23 @@ void Handle::detach() {
 Domain::~Domain() { drain(); }
 
 Handle Domain::attach() {
-  for (unsigned i = 0; i < kMaxThreads; ++i) {
-    bool expected = false;
-    if (slot_used_[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
-      slots_[i]->store(0, std::memory_order_release);
-      return Handle(this, i);
+  // Start in the shard covering the calling CPU and wrap: threads attaching
+  // from different NUMA nodes land in different slot regions, and a sparse
+  // process keeps whole shards empty for try_advance to skip.
+  const unsigned home = home_shard();
+  for (unsigned s = 0; s < kShards; ++s) {
+    const unsigned shard = (home + s) % kShards;
+    for (unsigned j = 0; j < kSlotsPerShard; ++j) {
+      const unsigned i = shard * kSlotsPerShard + j;
+      bool expected = false;
+      if (slot_used_[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+        slots_[i]->store(0, std::memory_order_release);
+        // seq_cst: the population hint must precede this thread's first pin
+        // in the single total order so an advance scan that skips the shard
+        // on hint==0 is ordered before the pin (see Shard's comment).
+        shards_[shard].attached.fetch_add(1, std::memory_order_seq_cst);
+        return Handle(this, i);
+      }
     }
   }
   throw std::runtime_error("ebr::Domain: all thread slots in use");
@@ -129,29 +165,41 @@ Handle Domain::attach() {
 
 bool Domain::try_advance() noexcept {
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
-  for (unsigned i = 0; i < kMaxThreads; ++i) {
-    if (!slot_used_[i].load(std::memory_order_acquire)) continue;
-    const std::uint64_t v = slots_[i]->load(std::memory_order_acquire);
-    if ((v & 1ULL) != 0 && (v >> 1) != e) return false;  // pinned in an older epoch
+  for (unsigned shard = 0; shard < kShards; ++shard) {
+    // Empty shards contribute nothing to the epoch condition; skipping them
+    // turns the scan cost from O(kMaxThreads) cache misses into O(occupied
+    // slots) — the point of sharding the slot array.
+    if (shards_[shard].attached.load(std::memory_order_seq_cst) == 0) continue;
+    const unsigned base = shard * kSlotsPerShard;
+    for (unsigned j = 0; j < kSlotsPerShard; ++j) {
+      const unsigned i = base + j;
+      if (!slot_used_[i].load(std::memory_order_acquire)) continue;
+      const std::uint64_t v = slots_[i]->load(std::memory_order_acquire);
+      if ((v & 1ULL) != 0 && (v >> 1) != e) return false;  // pinned in an older epoch
+    }
   }
   std::uint64_t expected = e;
   return global_epoch_.compare_exchange_strong(expected, e + 1, std::memory_order_acq_rel);
 }
 
 void Domain::drain() {
-  std::lock_guard<std::mutex> lock(orphan_mutex_);
-  for (const Retired& r : orphans_) r.deleter(r.ptr);
-  orphans_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.orphan_mutex);
+    for (const Retired& r : shard.orphans) r.deleter(r.ptr);
+    shard.orphans.clear();
+  }
 }
 
 void Domain::release_slot(unsigned slot, std::array<Handle::Bin, 3>&& bins) {
+  Shard& shard = shards_[shard_of(slot)];
   {
-    std::lock_guard<std::mutex> lock(orphan_mutex_);
+    std::lock_guard<std::mutex> lock(shard.orphan_mutex);
     for (Handle::Bin& bin : bins) {
       Handle::Chunk* chunk = bin.chunks;
       bin.chunks = nullptr;
       while (chunk != nullptr) {
-        for (std::uint32_t i = 0; i < chunk->count; ++i) orphans_.push_back(chunk->items[i]);
+        for (std::uint32_t i = 0; i < chunk->count; ++i)
+          shard.orphans.push_back(chunk->items[i]);
         Handle::Chunk* next = chunk->next;
         util::Pool::deallocate(chunk);
         chunk = next;
@@ -160,6 +208,7 @@ void Domain::release_slot(unsigned slot, std::array<Handle::Bin, 3>&& bins) {
   }
   slots_[slot]->store(0, std::memory_order_release);
   slot_used_[slot].store(false, std::memory_order_release);
+  shard.attached.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 }  // namespace wstm::ebr

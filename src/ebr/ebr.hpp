@@ -73,6 +73,12 @@ class Handle {
   /// (still amortized over Chunk::kCapacity retirements).
   void set_pool(util::Pool* pool) noexcept { pool_ = pool; }
 
+  /// Optional metrics hook: incremented once per successful full-domain
+  /// epoch sync this handle's retires triggered (the `ebr_shard_syncs`
+  /// counter — how often this thread paid for the cross-shard scan + global
+  /// epoch CAS). The pointee must outlive the handle.
+  void set_sync_counter(std::uint64_t* counter) noexcept { sync_counter_ = counter; }
+
   /// Detach from the domain; pending garbage is handed to the domain and
   /// freed at domain destruction or quiescent drain.
   void detach();
@@ -106,6 +112,7 @@ class Handle {
   bool pinned_ = false;
   unsigned retire_count_ = 0;
   util::Pool* pool_ = nullptr;
+  std::uint64_t* sync_counter_ = nullptr;
   std::array<Bin, 3> bins_{};
 };
 
@@ -123,22 +130,39 @@ class Guard {
 
 class Domain {
  public:
-  static constexpr unsigned kMaxThreads = 64;
+  static constexpr unsigned kMaxThreads = 128;
+  /// Thread slots are grouped into contiguous shards (stmgc-style). attach()
+  /// steers a thread toward the shard covering its current CPU, so the
+  /// epoch-advance scan touches slot lines with some NUMA locality and —
+  /// more importantly — can skip whole shards with no attached threads via
+  /// a per-shard population hint instead of walking all kMaxThreads slots.
+  /// Orphaned garbage (detached handles) is likewise binned per shard under
+  /// per-shard locks, so concurrent thread churn in different shards never
+  /// serializes on one process-wide mutex.
+  static constexpr unsigned kShards = 8;
+  static constexpr unsigned kSlotsPerShard = kMaxThreads / kShards;
+  static_assert(kMaxThreads % kShards == 0, "shards must tile the slot array");
   /// retire() attempts an epoch advance every this many retirements.
   static constexpr unsigned kAdvanceInterval = 64;
+
+  static constexpr unsigned shard_of(unsigned slot) noexcept {
+    return slot / kSlotsPerShard;
+  }
 
   Domain() = default;
   ~Domain();
   Domain(const Domain&) = delete;
   Domain& operator=(const Domain&) = delete;
 
-  /// Claim a thread slot. Throws std::runtime_error when all slots are taken.
+  /// Claim a thread slot, preferring the shard covering the calling CPU.
+  /// Throws std::runtime_error when all slots are taken.
   Handle attach();
 
   std::uint64_t epoch() const noexcept { return global_epoch_.load(std::memory_order_acquire); }
 
   /// Advance the epoch if every pinned thread has observed the current one.
-  /// Returns true when the epoch moved.
+  /// Scans shard by shard, skipping shards whose population hint is zero.
+  /// Returns true when the epoch moved (a full cross-shard sync happened).
   bool try_advance() noexcept;
 
   /// Free everything immediately. Caller must guarantee no thread is pinned
@@ -150,13 +174,25 @@ class Domain {
 
   void release_slot(unsigned slot, std::array<Handle::Bin, 3>&& bins);
 
+  /// Per-shard state: a population hint for the advance scan's skip test
+  /// and a private orphan bin so detach churn in one shard never contends
+  /// with another. The hint is advisory for *speed* only — correctness of
+  /// try_advance rests on slot_used_/slots_, which the hint conservatively
+  /// over-approximates: it is raised (seq_cst) before the claiming thread
+  /// can first pin and lowered only after its slot is fully released, so a
+  /// scan that observes 0 is seq_cst-ordered before any pin in that shard.
+  struct alignas(kCacheLine) Shard {
+    std::atomic<unsigned> attached{0};
+    std::mutex orphan_mutex;
+    std::vector<Retired> orphans;
+  };
+
   // Slot value: (epoch << 1) | active-bit.
   std::array<CacheAligned<std::atomic<std::uint64_t>>, kMaxThreads> slots_{};
   std::array<std::atomic<bool>, kMaxThreads> slot_used_{};
   std::atomic<std::uint64_t> global_epoch_{1};
 
-  std::mutex orphan_mutex_;
-  std::vector<Retired> orphans_;
+  std::array<Shard, kShards> shards_{};
 };
 
 }  // namespace wstm::ebr

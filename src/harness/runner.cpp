@@ -23,6 +23,7 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   rt_config.visible_reads = run.visible_reads;
   rt_config.pooling = run.pooling;
   rt_config.snapshot_ext = run.snapshot_ext;
+  rt_config.deferred_clock = run.deferred_clock;
   if (run.preempt_permille < 0) {
     rt_config.preempt_yield_permille = hardware_cpus() < run.threads ? 25 : 0;
   } else {
@@ -76,8 +77,13 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
           const std::int64_t op_begin = now_ns();
           workload.run_one(rt, tc, rng);
           latency.record(now_ns() - op_begin);
+          // Relaxed: `committed` is a pure tally — nothing is published
+          // through it (the RMW total order alone guarantees exactly the
+          // fixed_commits-th increment crosses the threshold), and the
+          // shutdown handshake is carried by the release store / acquire
+          // loads on `stop`, not by this counter.
           if (run.fixed_commits > 0 &&
-              committed.fetch_add(1, std::memory_order_acq_rel) + 1 >= run.fixed_commits) {
+              committed.fetch_add(1, std::memory_order_relaxed) + 1 >= run.fixed_commits) {
             stop.store(true, std::memory_order_release);
           }
         }

@@ -55,6 +55,11 @@ BoundedQueue::PushResult BoundedQueue::push_wait(const TxRequest& req) {
       // it records real backpressure pressure even in block mode.
       return r;
     }
+    // seq_cst: Dekker pair with the consumer's seq_cst load in
+    // wake_producer(). Both sides must agree on a single order between
+    // "waiter count raised" and "slot freed", or the consumer could read
+    // push_waiters_ == 0 while this thread misses the freed slot and
+    // sleeps through the only wakeup. Audited for PR 7: NOT relaxable.
     push_waiters_.fetch_add(1, std::memory_order_seq_cst);
     std::unique_lock<std::mutex> lk(wait_mutex_);
     not_full_.wait_for(lk, std::chrono::milliseconds(1));
@@ -88,6 +93,11 @@ bool BoundedQueue::try_pop(TxRequest* out) {
 bool BoundedQueue::pop_wait(TxRequest* out, std::int64_t timeout_ns) {
   if (try_pop(out)) return true;
   if (closed_.load(std::memory_order_acquire)) return try_pop(out);
+  // seq_cst: Dekker pair with the producer's seq_cst load in
+  // wake_consumer() (same shape as push_wait/wake_producer). Audited for
+  // PR 7: NOT relaxable — acq_rel on the two sides would still allow both
+  // the producer to read pop_waiters_ == 0 and this thread's re-check to
+  // miss the pushed item, losing the wakeup.
   pop_waiters_.fetch_add(1, std::memory_order_seq_cst);
   // Re-check after announcing the wait: a push racing with the increment
   // either sees the waiter (and notifies) or its item is visible here.
@@ -118,12 +128,17 @@ void BoundedQueue::note_depth(std::uint64_t depth) noexcept {
 }
 
 void BoundedQueue::wake_consumer() noexcept {
+  // seq_cst: the other half of the pop_wait() Dekker pair — this load must
+  // be ordered after the seq.store(release) that published the item in the
+  // single total order, so either the waiter's re-check pops the item or
+  // this load sees the waiter. Audited for PR 7: NOT relaxable.
   if (pop_waiters_.load(std::memory_order_seq_cst) == 0) return;
   std::lock_guard<std::mutex> lk(wait_mutex_);
   not_empty_.notify_one();
 }
 
 void BoundedQueue::wake_producer() noexcept {
+  // seq_cst: other half of the push_wait() Dekker pair (see wake_consumer).
   if (push_waiters_.load(std::memory_order_seq_cst) == 0) return;
   std::lock_guard<std::mutex> lk(wait_mutex_);
   not_full_.notify_one();

@@ -54,6 +54,25 @@ struct ThreadMetrics {
   /// appended — without dedup R becomes the read *count*).
   std::uint64_t dup_reads = 0;
 
+  // Shared-line contention (see DESIGN.md §11). These separate "how often a
+  // thread wrote a process-wide cache line" from "how often it wanted to".
+  /// Writes to the shared commit-clock line: eager mode counts one per
+  /// write-commit (the PR 5 fetch_add); deferred mode counts only the
+  /// extension-path CAS advances — the whole point of GV5-style deferral.
+  std::uint64_t clock_bumps = 0;
+  /// Write-commits that stamped `clock+1` into their descriptor without
+  /// touching the shared clock line (deferred mode only).
+  std::uint64_t deferred_stamps = 0;
+  /// Snapshot establishments retried or refused because a commit completed
+  /// mid-scan (the deferred clock's interference rule; see DESIGN.md §11).
+  std::uint64_t snapshot_interference = 0;
+  /// Failed CAS iterations on the striped visible-reader records: the
+  /// residual announce/clear contention the stripes exist to spread.
+  std::uint64_t reader_stripe_retries = 0;
+  /// Cross-shard EBR epoch syncs (full-domain scans that advanced the
+  /// epoch) triggered by this thread's retires.
+  std::uint64_t ebr_shard_syncs = 0;
+
   // Liveness layer (src/resilience/); all 0 unless the watchdog/escalation
   // ladder or chaos injection is enabled on the RuntimeConfig.
   /// Attempts that started at escalation level >= 1 (backoff or above).
@@ -103,6 +122,11 @@ struct ThreadMetrics {
     validations_skipped += other.validations_skipped;
     validation_saved_ns += other.validation_saved_ns;
     dup_reads += other.dup_reads;
+    clock_bumps += other.clock_bumps;
+    deferred_stamps += other.deferred_stamps;
+    snapshot_interference += other.snapshot_interference;
+    reader_stripe_retries += other.reader_stripe_retries;
+    ebr_shard_syncs += other.ebr_shard_syncs;
     escalations += other.escalations;
     serial_fallbacks += other.serial_fallbacks;
     timeouts += other.timeouts;
@@ -127,6 +151,14 @@ struct MetricsSummary {
   double repeat_conflicts_per_commit = 0.0;  // paper §IV "repeat conflicts"
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
+
+  // Shared-line contention totals (DESIGN.md §11); all zero when the
+  // relevant subsystem is off, and then omitted from to_string().
+  std::uint64_t clock_bumps = 0;
+  std::uint64_t deferred_stamps = 0;
+  std::uint64_t snapshot_interference = 0;
+  std::uint64_t reader_stripe_retries = 0;
+  std::uint64_t ebr_shard_syncs = 0;
 
   std::string to_string() const;
 };

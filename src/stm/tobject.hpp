@@ -14,11 +14,12 @@
 // after a remote status CAS, the protocol is obstruction-free — nobody ever
 // waits for a preempted thread unless the contention manager chooses to.
 //
-// Visible reads: a 64-bit per-object bitmap with one bit per thread slot.
-// Writers resolve against every active reader in their acquire-time
-// snapshot; combined with the "check own status before every open" rule in
-// the runtime this yields consistent views without read-set validation
-// (see DESIGN.md §5).
+// Visible reads: striped per-object reader records with one bit per thread
+// slot, spread over K cache-line-padded words (stripe = slot % K, bit =
+// slot / K). Writers resolve against every active reader in their
+// acquire-time snapshot by scanning the stripes; combined with the "check
+// own status before every open" rule in the runtime this yields consistent
+// views without read-set validation (see DESIGN.md §5, §11).
 #pragma once
 
 #include <atomic>
@@ -28,11 +29,83 @@
 
 #include "stm/fwd.hpp"
 #include "stm/tx.hpp"
+#include "util/cacheline.hpp"
 #include "util/pool.hpp"
 
 namespace wstm::stm {
 
 class Tx;
+
+/// Striped visible-reader records (SNZI-lite). The old single 64-bit bitmap
+/// made every reader of a hot object RMW the same cache line — a CAS retry
+/// storm at high thread counts — and capped the process at 64 visible
+/// readers. K independent cache-line-padded words indexed by thread slot
+/// spread the announce/clear traffic K ways and raise the ceiling to
+/// K * 64 slots. Writers resolve readers by scanning all K stripes; the
+/// scan is K cache-line loads, paid only on write acquisition.
+struct ReaderStripes {
+  static constexpr unsigned kStripes = 4;
+  /// Max thread slots representable (must cover Runtime::kMaxThreads).
+  static constexpr unsigned kCapacity = kStripes * 64;
+
+  static constexpr unsigned stripe_of(unsigned slot) noexcept {
+    return slot % kStripes;
+  }
+  static constexpr std::uint64_t bit_of(unsigned slot) noexcept {
+    return std::uint64_t{1} << (slot / kStripes);
+  }
+  /// Inverse of (stripe_of, bit index): the slot a set bit belongs to.
+  static constexpr unsigned slot_at(unsigned stripe, unsigned bit) noexcept {
+    return bit * kStripes + stripe;
+  }
+
+  /// Tests `slot`'s bit without ordering (the owner is the only writer of
+  /// its own bit, so a relaxed self-test cannot race).
+  bool announced(unsigned slot) const noexcept {
+    return (stripe_[stripe_of(slot)]->load(std::memory_order_relaxed) &
+            bit_of(slot)) != 0;
+  }
+
+  /// Sets `slot`'s bit. seq_cst on success: the visible-read flag protocol
+  /// requires the announcement to be ordered before the subsequent locator
+  /// load in the single total order (see DESIGN.md §5). Returns the number
+  /// of failed CAS iterations — the residual stripe contention metric.
+  unsigned announce(unsigned slot) noexcept {
+    std::atomic<std::uint64_t>& s = *stripe_[stripe_of(slot)];
+    const std::uint64_t bit = bit_of(slot);
+    unsigned retries = 0;
+    std::uint64_t cur = s.load(std::memory_order_relaxed);
+    while (!s.compare_exchange_weak(cur, cur | bit, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+      ++retries;
+    }
+    return retries;
+  }
+
+  /// Clears `slot`'s bit (attempt cleanup). acq_rel: pairs with a resolving
+  /// writer's stripe scan so a cleared reader is never resolved against a
+  /// stale snapshot longer than necessary; no seq_cst needed because a
+  /// spurious extra resolution is benign. Returns failed CAS iterations.
+  unsigned clear(unsigned slot) noexcept {
+    std::atomic<std::uint64_t>& s = *stripe_[stripe_of(slot)];
+    const std::uint64_t mask = ~bit_of(slot);
+    unsigned retries = 0;
+    std::uint64_t cur = s.load(std::memory_order_relaxed);
+    while (!s.compare_exchange_weak(cur, cur & mask, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      ++retries;
+    }
+    return retries;
+  }
+
+  /// Snapshot of one stripe's word (writer-side resolve scan).
+  std::uint64_t load_stripe(unsigned stripe, std::memory_order mo) const noexcept {
+    return stripe_[stripe]->load(mo);
+  }
+
+ private:
+  CacheAligned<std::atomic<std::uint64_t>> stripe_[kStripes]{};
+};
 
 /// Type-erased locator. Lives in a pool block (see util/pool.hpp); immutable
 /// after installation except for `dead_version`, written exactly once by the
@@ -58,7 +131,7 @@ struct Locator {
 
 /// Non-template core of a transactional object. All protocol logic lives in
 /// the runtime (one non-template translation unit); this class only owns
-/// the locator chain head and the visible-reader bitmap.
+/// the locator chain head and the striped visible-reader records.
 class TObjectBase {
  public:
   /// Clones `src` into a block of `pool` (nullptr → global allocation); the
@@ -112,7 +185,7 @@ class TObjectBase {
   }
 
   std::atomic<Locator*> loc_;
-  std::atomic<std::uint64_t> readers_{0};
+  ReaderStripes readers_;
   CloneFn clone_;
   DestroyFn destroy_;
   std::uint32_t payload_size_;

@@ -21,10 +21,19 @@ namespace wstm::stm {
 struct alignas(kCacheLine) TxDesc {
   std::atomic<TxStatus> status{TxStatus::kActive};
 
-  /// Thread slot in [0, 64); doubles as the visible-reader bit index.
+  /// Thread slot in [0, Runtime::kMaxThreads); also indexes the striped
+  /// visible-reader records (stripe = slot % K, bit = slot / K).
   std::uint32_t thread_slot = 0;
   /// Attempt number within the thread (diagnostics / tie-breaking).
   std::uint64_t serial = 0;
+
+  /// Deferred commit clock (DESIGN.md §11): the stamp `G+1` this write-
+  /// commit claims, written by the owner between its commit-pending
+  /// announcement and its status CAS. Readers load it only after observing
+  /// status == kCommitted (the CAS's release publishes the relaxed store),
+  /// so the value is final whenever it is consulted. Stays 0 for read-only
+  /// attempts and in eager-clock mode.
+  std::atomic<std::uint64_t> commit_stamp{0};
 
   /// Start of this attempt (steady-clock ns).
   std::int64_t begin_ns = 0;

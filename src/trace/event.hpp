@@ -72,9 +72,15 @@ enum class EventKind : std::uint8_t {
   kEnqueue,         // a0 = queue index, a1 = queue depth after the push
   kDequeue,         // a0 = queue index, a1 = queue wait ns (submit→dequeue);
                     // detail bit0 = 1 when the request was shed as expired
+
+  kClockBump,       // deferred-clock shared-line write (extension-path CAS
+                    // advance; see DESIGN.md §11): a0 = trigger stamp the
+                    // clock was raised to cover. Absent in eager mode, where
+                    // every write-commit bumps the line and recording each
+                    // would double trace volume for no attribution value.
 };
 
-inline constexpr std::uint8_t kNumEventKinds = 19;
+inline constexpr std::uint8_t kNumEventKinds = 20;
 
 const char* kind_name(EventKind kind) noexcept;
 

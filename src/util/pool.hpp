@@ -35,11 +35,17 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <new>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "util/cacheline.hpp"
 
@@ -221,30 +227,64 @@ class Pool {
 };
 
 namespace detail {
+/// Process-wide pool registry, sharded by CPU. A single {mutex, parked}
+/// pair made every thread's attach/detach serialize on one lock and bounce
+/// one cache line across sockets — measurable at exactly the thread counts
+/// the scaling matrix sweeps, because open-loop serving churns worker pools.
+/// Each shard owns its own mutex, ownership list, and parked stack; a
+/// thread parks to and acquires from the shard covering its current CPU
+/// (NUMA-friendly block reuse) and only steals round-robin from other
+/// shards when its own has nothing parked.
 struct PoolRegistry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<Pool>> all;  // owns every pool ever created
-  std::vector<Pool*> parked;
+  static constexpr unsigned kShards = 8;
+
+  struct alignas(kCacheLine) Shard {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Pool>> all;  // owns every pool created here
+    std::vector<Pool*> parked;
+  };
+  Shard shards[kShards];
 
   static PoolRegistry& instance() {
     static PoolRegistry registry;
     return registry;
   }
+
+  /// Shard for the calling thread: current CPU on Linux (pools parked by a
+  /// thread on this node are re-acquired on the same node), a stable thread
+  /// hash elsewhere (no locality, but the lock traffic still spreads).
+  static unsigned home_shard() noexcept;
 };
+
+inline unsigned PoolRegistry::home_shard() noexcept {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu >= 0) return static_cast<unsigned>(cpu) % kShards;
+#endif
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<unsigned>(tid) % kShards;
+}
 }  // namespace detail
 
 inline Pool* Pool::acquire() {
   auto& reg = detail::PoolRegistry::instance();
+  const unsigned home = reg.home_shard();
   Pool* pool = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(reg.mutex);
-    if (!reg.parked.empty()) {
-      pool = reg.parked.back();
-      reg.parked.pop_back();
-    } else {
-      reg.all.push_back(std::make_unique<Pool>());
-      pool = reg.all.back().get();
+  // Pass 1: try each shard's parked stack, own shard first.
+  for (unsigned s = 0; s < detail::PoolRegistry::kShards && pool == nullptr; ++s) {
+    auto& shard = reg.shards[(home + s) % detail::PoolRegistry::kShards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.parked.empty()) {
+      pool = shard.parked.back();
+      shard.parked.pop_back();
     }
+  }
+  // Nothing parked anywhere: create in the home shard.
+  if (pool == nullptr) {
+    auto& shard = reg.shards[home % detail::PoolRegistry::kShards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.all.push_back(std::make_unique<Pool>());
+    pool = shard.all.back().get();
   }
   pool->owner_key_.store(this_thread_key(), std::memory_order_relaxed);
   return pool;
@@ -254,8 +294,9 @@ inline void Pool::park(Pool* pool) {
   if (pool == nullptr) return;
   pool->owner_key_.store(0, std::memory_order_relaxed);
   auto& reg = detail::PoolRegistry::instance();
-  std::lock_guard<std::mutex> lock(reg.mutex);
-  reg.parked.push_back(pool);
+  auto& shard = reg.shards[reg.home_shard() % detail::PoolRegistry::kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.parked.push_back(pool);
 }
 
 /// Placement-constructs a T in a pool block (deallocate-on-throw). Free with

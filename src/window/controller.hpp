@@ -26,7 +26,7 @@ class WindowController {
   explicit WindowController(std::size_t capacity = std::size_t{1} << 14);
 
   std::uint64_t current_frame() const noexcept {
-    return current_.load(std::memory_order_acquire);
+    return current_->load(std::memory_order_acquire);
   }
 
   /// When the current frame started (for diagnostics / expiry metrics).
@@ -62,9 +62,13 @@ class WindowController {
   }
 
   std::vector<CacheAligned<std::atomic<std::int64_t>>> pending_;
-  std::atomic<std::uint64_t> current_{0};
-  std::atomic<std::uint64_t> max_registered_{0};
-  std::atomic<std::int64_t> total_pending_{0};
+  // Each process-wide word gets its own line: total_pending_ is RMW'd by
+  // every register/complete, and sharing its line with current_ would make
+  // every registration invalidate the word every maybe_advance() polls.
+  CacheAligned<std::atomic<std::uint64_t>> current_{};
+  CacheAligned<std::atomic<std::uint64_t>> max_registered_{};
+  CacheAligned<std::atomic<std::int64_t>> total_pending_{};
+  // Written only on (rare) frame advances; fine to share one line.
   std::atomic<std::int64_t> frame_start_ns_{0};
   std::atomic<std::uint64_t> advances_{0};
 };

@@ -289,6 +289,11 @@ TEST(InvisibleChecker, SnapshotExtensionIsBehaviorNeutral) {
         "Adaptive-Improved-Dynamic"}) {
     check::CheckConfig on = invisible_check_config(cm);
     on.snapshot_ext = true;
+    // Pin the eager clock: neutrality (identical decisions/commits/aborts)
+    // only holds when ext changes nothing but skip-vs-validate. The deferred
+    // clock adds a commit schedule point and per-open fast accepts, so its
+    // histories legitimately differ; it gets its own tests below.
+    on.deferred_clock = false;
     check::CheckConfig off = on;
     off.snapshot_ext = false;
     for (const std::uint64_t policy_seed : {1u, 2u, 3u}) {

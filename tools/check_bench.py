@@ -15,6 +15,17 @@ Two modes:
   validated per open; anything above the threshold means opens regressed
   toward the O(R) validate-on-every-open pathology.
 
+* --mode scaling (BENCH_scaling.json, from bench/fig_scaling_matrix --json):
+  the shared commit-clock line must actually go quiet under the deferred
+  protocol. Always gated, per row: validation passed and attempt
+  conservation (attempts == commits + aborts). The contention-ratio clauses
+  — at M=8 the deferred row's clock_bumps stay at or below
+  --max-bump-ratio x deferred_stamps (the eager protocol's shared-line
+  write count), and at M in {2,4} deferred throughput is at least
+  --min-deferred-throughput-ratio x the eager A/B row's — are additionally
+  gated only when context.host_cpus >= 16; an oversubscribed host
+  serializes the writers and measures the OS scheduler, not the clock.
+
 * --mode serve (BENCH_serve.json, from bench/fig_serve_scaling --json): the
   serving front-end must not lose requests. Always gated, per cell:
   validation passed, accepted == enqueued == dequeued, and
@@ -32,6 +43,8 @@ Usage: check_bench.py BENCH_micro.json [--max-allocs-per-attempt 0.5]
            [--max-validations-per-read 1.05]
        check_bench.py BENCH_serve.json --mode serve \
            [--min-throughput-ratio 1.2] [--max-p99-ratio 0.7]
+       check_bench.py BENCH_scaling.json --mode scaling \
+           [--max-bump-ratio 0.2] [--min-deferred-throughput-ratio 0.9]
 """
 
 import argparse
@@ -161,16 +174,27 @@ def gate_serve(report, min_throughput_ratio: float, max_p99_ratio: float) -> int
         else:
             print(f"check_bench: {name}: conserved {dequeued} requests, valid ok")
 
-    # Conflict-aware clause: per rate, conflict-graph and window-frame vs the
-    # round-robin baseline. Enforced only when the producing host had enough
-    # CPUs to actually run the workers concurrently.
+    # Conflict-aware clause: per (threads, rate) group, conflict-graph and
+    # window-frame vs the round-robin baseline. Enforced per group, only
+    # when the producing host had enough CPUs to actually run that group's
+    # workers concurrently (rows carry their own thread count now that
+    # fig_serve_scaling sweeps M; older reports fall back to the context).
     host_cpus = context.get("host_cpus", 0)
-    threads = context.get("threads", 0)
-    enforce = isinstance(host_cpus, int) and isinstance(threads, int) and host_cpus >= threads
-    by_rate = {}
+    context_threads = context.get("threads", 0)
+    by_group = {}
     for r in rows:
-        by_rate.setdefault(r.get("arrival_rate"), {})[r.get("policy")] = r
-    for rate, policies in sorted(by_rate.items(), key=lambda kv: kv[0] or 0):
+        key = (r.get("threads", context_threads), r.get("arrival_rate"))
+        by_group.setdefault(key, {})[r.get("policy")] = r
+    any_ungated = False
+    for (threads, rate), policies in sorted(
+        by_group.items(), key=lambda kv: (kv[0][0] or 0, kv[0][1] or 0)
+    ):
+        enforce = (
+            isinstance(host_cpus, int)
+            and isinstance(threads, int)
+            and host_cpus >= threads
+        )
+        any_ungated = any_ungated or not enforce
         base = policies.get("round-robin")
         if base is None or base.get("completed_per_s", 0) <= 0:
             continue
@@ -184,16 +208,117 @@ def gate_serve(report, min_throughput_ratio: float, max_p99_ratio: float) -> int
             ok = thr_ratio >= min_throughput_ratio or p99_ratio <= max_p99_ratio
             verdict = "ok" if ok else ("FAIL" if enforce else "miss (not gated)")
             print(
-                f"check_bench: {name}@{rate}/s vs round-robin: "
+                f"check_bench: {name}@M={threads}/{rate}/s vs round-robin: "
                 f"throughput x{thr_ratio:.2f} (need >= {min_throughput_ratio}) "
                 f"p99 x{p99_ratio:.2f} (need <= {max_p99_ratio}) {verdict}"
             )
             if not ok and enforce:
                 failed = True
+    if any_ungated:
+        print(
+            f"check_bench: ratio clause informational for groups with "
+            f"threads > host_cpus={host_cpus}"
+        )
+    return 1 if failed else 0
+
+
+def load_scaling_report(json_path: str):
+    """BENCH_scaling.json is fig_scaling_matrix's own format:
+    {"context": {...}, "scaling": [rows]}."""
+    try:
+        with open(json_path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: {json_path}: cannot load: {e}", file=sys.stderr)
+        return None
+    if not isinstance(report, dict) or not isinstance(report.get("scaling"), list):
+        print(
+            f"check_bench: {json_path}: no 'scaling' array; expected "
+            "fig_scaling_matrix --json output",
+            file=sys.stderr,
+        )
+        return None
+    return report
+
+
+def gate_scaling(report, max_bump_ratio: float, min_deferred_throughput_ratio: float) -> int:
+    rows = report["scaling"]
+    if not rows:
+        print("check_bench: scaling report has no rows", file=sys.stderr)
+        return 1
+    context = report.get("context", {})
+    host_cpus = context.get("host_cpus", 0)
+    failed = False
+
+    # Structural gates, always enforced: every row validated, and attempts
+    # conserve exactly into commits + aborts.
+    for r in rows:
+        name = f"M={r.get('threads', '?')}/{r.get('clock', '?')}"
+        if not r.get("valid", False):
+            print(f"check_bench: {name}: workload validation FAILED", file=sys.stderr)
+            failed = True
+        attempts = r.get("attempts", -1)
+        accounted = r.get("commits", 0) + r.get("aborts", 0)
+        if attempts != accounted:
+            print(
+                f"check_bench: {name}: attempt conservation FAILED "
+                f"(attempts={attempts} commits+aborts={accounted})",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"check_bench: {name}: conserved {attempts} attempts, valid ok")
+        # Deferred rows must actually stamp; eager rows must not.
+        stamps = r.get("deferred_stamps", 0)
+        if r.get("clock") == "deferred" and r.get("commits", 0) > 0 and stamps == 0:
+            print(
+                f"check_bench: {name}: deferred row recorded no stamps "
+                "(deferred clock not active?)",
+                file=sys.stderr,
+            )
+            failed = True
+        if r.get("clock") == "eager" and stamps != 0:
+            print(
+                f"check_bench: {name}: eager row recorded deferred stamps",
+                file=sys.stderr,
+            )
+            failed = True
+
+    # Contention-ratio clauses: only meaningful with real concurrency.
+    enforce = isinstance(host_cpus, int) and host_cpus >= 16
+    by_key = {(r.get("threads"), r.get("clock")): r for r in rows}
+    deferred8 = by_key.get((8, "deferred"))
+    if deferred8 is not None:
+        stamps = deferred8.get("deferred_stamps", 0)
+        bumps = deferred8.get("clock_bumps", 0)
+        ratio = bumps / stamps if stamps > 0 else float("inf")
+        ok = ratio <= max_bump_ratio
+        verdict = "ok" if ok else ("FAIL" if enforce else "miss (not gated)")
+        print(
+            f"check_bench: M=8 deferred shared-line writes: "
+            f"clock_bumps/deferred_stamps={ratio:.3f} "
+            f"(need <= {max_bump_ratio}) {verdict}"
+        )
+        if not ok and enforce:
+            failed = True
+    for m in (2, 4):
+        d = by_key.get((m, "deferred"))
+        e = by_key.get((m, "eager"))
+        if d is None or e is None or e.get("throughput_per_s", 0) <= 0:
+            continue
+        ratio = d.get("throughput_per_s", 0) / e["throughput_per_s"]
+        ok = ratio >= min_deferred_throughput_ratio
+        verdict = "ok" if ok else ("FAIL" if enforce else "miss (not gated)")
+        print(
+            f"check_bench: M={m} deferred vs eager throughput: x{ratio:.3f} "
+            f"(need >= {min_deferred_throughput_ratio}) {verdict}"
+        )
+        if not ok and enforce:
+            failed = True
     if not enforce:
         print(
-            f"check_bench: ratio clause informational only "
-            f"(host_cpus={host_cpus} < threads={threads})"
+            f"check_bench: contention-ratio clauses informational only "
+            f"(host_cpus={host_cpus} < 16)"
         )
     return 1 if failed else 0
 
@@ -201,11 +326,15 @@ def gate_serve(report, min_throughput_ratio: float, max_p99_ratio: float) -> int
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path")
-    parser.add_argument("--mode", choices=("alloc", "readval", "serve"), default="alloc")
+    parser.add_argument(
+        "--mode", choices=("alloc", "readval", "serve", "scaling"), default="alloc"
+    )
     parser.add_argument("--max-allocs-per-attempt", type=float, default=0.5)
     parser.add_argument("--max-validations-per-read", type=float, default=1.05)
     parser.add_argument("--min-throughput-ratio", type=float, default=1.2)
     parser.add_argument("--max-p99-ratio", type=float, default=0.7)
+    parser.add_argument("--max-bump-ratio", type=float, default=0.2)
+    parser.add_argument("--min-deferred-throughput-ratio", type=float, default=0.9)
     args = parser.parse_args()
 
     if args.mode == "serve":
@@ -213,6 +342,14 @@ def main() -> int:
         if report is None:
             return 1
         return gate_serve(report, args.min_throughput_ratio, args.max_p99_ratio)
+
+    if args.mode == "scaling":
+        report = load_scaling_report(args.json_path)
+        if report is None:
+            return 1
+        return gate_scaling(
+            report, args.max_bump_ratio, args.min_deferred_throughput_ratio
+        )
 
     report = load_report(args.json_path)
     if report is None:
