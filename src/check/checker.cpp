@@ -61,10 +61,12 @@ stm::RuntimeConfig::DebugFaults parse_bug(const std::string& bug) {
     b.skip_cas_recheck = true;
   } else if (bug == "stamp-no-pending") {
     b.stamp_no_pending = true;
+  } else if (bug == "skip-read-validation") {
+    b.orec_skip_validation = true;  // orec backend only; a no-op under dstm
   } else {
-    throw std::invalid_argument(
-        "unknown seeded bug \"" + bug +
-        "\" (none|blind-commit|skip-reader-abort|skip-cas-recheck|stamp-no-pending)");
+    throw std::invalid_argument("unknown seeded bug \"" + bug +
+                                "\" (none|blind-commit|skip-reader-abort|skip-cas-recheck|"
+                                "stamp-no-pending|skip-read-validation)");
   }
   return b;
 }
@@ -116,6 +118,7 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
 
   stm::RuntimeConfig rtc;
   rtc.seed = cfg.seed;
+  rtc.backend = stm::parse_backend(cfg.backend);
   rtc.visible_reads = cfg.visible_reads;
   rtc.snapshot_ext = cfg.snapshot_ext;
   rtc.deferred_clock = cfg.deferred_clock;

@@ -31,9 +31,11 @@ enum class Point : std::uint8_t {
   kCommit,           // top of finish_attempt_commit, before the status CAS
   kAbort,            // top of finish_attempt_abort
   kReaderResolve,    // each iteration of the visible-reader resolve loop
+  kOrecLock,         // orec backend: each commit-time lock-acquire iteration
+  kOrecValidate,     // orec backend: each read-set validation entry check
 };
 
-inline constexpr unsigned kNumPoints = 8;
+inline constexpr unsigned kNumPoints = 10;
 
 const char* point_name(Point p) noexcept;
 

@@ -6,7 +6,8 @@ namespace wstm::check {
 namespace {
 
 bool abort_applies(Point p) {
-  return p == Point::kRead || p == Point::kWrite || p == Point::kCas || p == Point::kCommit;
+  return p == Point::kRead || p == Point::kWrite || p == Point::kCas || p == Point::kCommit ||
+         p == Point::kOrecLock || p == Point::kOrecValidate;
 }
 
 }  // namespace

@@ -10,7 +10,7 @@ namespace {
 constexpr char kMagic[] = "wstm-schedule v1";
 
 // One letter per Point keeps decision lines at ~8 bytes.
-constexpr char kPointLetters[kNumPoints] = {'S', 'B', 'R', 'W', 'C', 'M', 'A', 'V'};
+constexpr char kPointLetters[kNumPoints] = {'S', 'B', 'R', 'W', 'C', 'M', 'A', 'V', 'L', 'D'};
 
 char point_letter(Point p) { return kPointLetters[static_cast<unsigned>(p)]; }
 
@@ -57,6 +57,8 @@ const char* point_name(Point p) noexcept {
     case Point::kCommit: return "commit";
     case Point::kAbort: return "abort";
     case Point::kReaderResolve: return "reader-resolve";
+    case Point::kOrecLock: return "orec-lock";
+    case Point::kOrecValidate: return "orec-validate";
   }
   return "?";
 }
@@ -99,6 +101,7 @@ std::string to_text(const Schedule& schedule) {
   out << "max_steps " << c.max_steps << '\n';
   out << "tick_ns " << c.tick_ns << '\n';
   out << "window_n " << c.window_n << '\n';
+  out << "backend " << c.backend << '\n';
   out << "p_abort " << c.faults.p_abort << '\n';
   out << "p_fail_cas " << c.faults.p_fail_cas << '\n';
   out << "p_stall " << c.faults.p_stall << '\n';
@@ -166,6 +169,8 @@ Schedule schedule_from_text(const std::string& text) {
       else if (key == "max_steps") c.max_steps = as_u64();
       else if (key == "tick_ns") c.tick_ns = std::stoll(sval);
       else if (key == "window_n") c.window_n = as_u32();
+      // Absent in pre-backend files ⇒ the DSTM engine those runs used.
+      else if (key == "backend") c.backend = sval;
       else if (key == "p_abort") c.faults.p_abort = as_f();
       else if (key == "p_fail_cas") c.faults.p_fail_cas = as_f();
       else if (key == "p_stall") c.faults.p_stall = as_f();

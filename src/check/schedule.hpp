@@ -94,6 +94,9 @@ struct CheckConfig {
   std::uint64_t max_steps = 0;  // scheduling-step budget; 0 = auto
   std::int64_t tick_ns = 1000;  // virtual-clock advance per decision
   std::uint32_t window_n = 8;   // small windows so variants roll over in-run
+  /// Execution engine under test: dstm | orec (stm::RuntimeConfig::backend).
+  /// Absent from pre-backend schedule files, which default here.
+  std::string backend = "dstm";
   /// Arm the resilience liveness layer (escalation ladder + irrevocable
   /// serial-fallback token) with checker-friendly settings: tight
   /// escalation thresholds, no real-time backoff sleeps, no watchdog
@@ -102,7 +105,8 @@ struct CheckConfig {
   bool liveness = false;
   FaultOptions faults;
   /// Seeded protocol bug to arm (stm::RuntimeConfig::DebugFaults):
-  /// none | blind-commit | skip-reader-abort | skip-cas-recheck.
+  /// none | blind-commit | skip-reader-abort | skip-cas-recheck |
+  /// stamp-no-pending | skip-read-validation (orec backend).
   std::string bug = "none";
 
   std::uint64_t effective_max_steps() const noexcept {

@@ -57,6 +57,8 @@ void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
                "yield probability (permille) at each open, to emulate multicore "
                "interleaving on undersubscribed hosts; -1 = auto",
                static_cast<std::int64_t>(-1));
+  cli.add_flag("backend", "execution engine: dstm (eager locator) | orec (lazy TL2-style)",
+               std::string("dstm"));
   cli.add_flag("visible-reads", "visible (paper) vs invisible (validated) reads", true);
   cli.add_flag("pooling", "recycle TxDesc/Locator/clone blocks through thread pools", true);
   cli.add_flag("snapshot-ext",
@@ -128,6 +130,7 @@ MatrixSpec matrix_from_cli(const Cli& cli) {
   spec.base.fixed_commits = static_cast<std::uint64_t>(cli.get_int("fixed-commits"));
   spec.base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   spec.base.preempt_permille = static_cast<std::int32_t>(cli.get_int("preempt-permille"));
+  spec.base.backend = cli.get_string("backend");
   spec.base.visible_reads = cli.get_bool("visible-reads");
   spec.base.pooling = cli.get_bool("pooling");
   spec.base.snapshot_ext = cli.get_bool("snapshot-ext");

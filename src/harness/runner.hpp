@@ -38,6 +38,10 @@ struct RunConfig {
   /// Read mode (see stm::RuntimeConfig::visible_reads). The paper used
   /// visible reads; invisible trades reader bitmaps for validation.
   bool visible_reads = true;
+  /// Execution engine: "dstm" (eager locator protocol) or "orec" (lazy
+  /// TL2-style redo logging). Parsed with stm::parse_backend; the CM layer
+  /// is identical on both. See DESIGN.md §12.
+  std::string backend = "dstm";
   /// Recycle protocol metadata through per-thread pools (see
   /// stm::RuntimeConfig::pooling). Off reproduces the allocator-bound
   /// pre-pooling numbers for overhead comparisons.

@@ -1,0 +1,58 @@
+// Execution-engine concept (DESIGN.md §12). A Backend owns the object-level
+// synchronization protocol of one Runtime — how an attempt snapshots the
+// world, resolves reads and writes, and publishes at commit — while the
+// Runtime keeps everything engine-agnostic above it: CM arbitration,
+// metrics, tracing, liveness escalation, chaos and the deterministic
+// checker. The two engines are DstmBackend (eager obstruction-free
+// locators, runtime.cpp) and OrecEngine (lazy TL2-style redo logs,
+// orec/engine.cpp).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "stm/fwd.hpp"
+
+namespace wstm::stm {
+
+inline const char* backend_name(BackendKind k) noexcept {
+  return k == BackendKind::kOrec ? "orec" : "dstm";
+}
+
+inline BackendKind parse_backend(const std::string& name) {
+  if (name == "dstm") return BackendKind::kDstm;
+  if (name == "orec") return BackendKind::kOrec;
+  throw std::invalid_argument("unknown backend '" + name + "' (expected dstm|orec)");
+}
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual BackendKind kind() const noexcept = 0;
+
+  /// Attempt-local engine state reset (snapshot establishment, log reset).
+  /// Called by Runtime::begin_attempt after the descriptor is published and
+  /// before the CM's on_begin hook.
+  virtual void begin(ThreadCtx& tc) = 0;
+
+  /// Resolve a transactional read to a payload the attempt may dereference
+  /// until it ends. Throws TxAbort when the attempt must die; conflicts go
+  /// through Runtime::arbitrate so CM decisions (and the irrevocability
+  /// short-circuits) apply identically on both engines.
+  virtual const void* open_read(ThreadCtx& tc, TObjectBase& obj) = 0;
+
+  /// Resolve a transactional write to a private mutable payload.
+  virtual void* open_write(ThreadCtx& tc, TObjectBase& obj) = 0;
+
+  /// Engine-specific commit protocol through the status transition.
+  /// Returns false when the attempt lost its commit race to a remote kill;
+  /// throws TxAbort when validation/acquisition aborts the attempt.
+  virtual bool commit(ThreadCtx& tc) = 0;
+
+  /// Per-attempt teardown on both outcomes (drop read/write sets, release
+  /// anything still held after a mid-commit death). Runs at the top of
+  /// Runtime::cleanup_attempt, while the attempt is still EBR-pinned.
+  virtual void end(ThreadCtx& tc, bool committed) = 0;
+};
+
+}  // namespace wstm::stm

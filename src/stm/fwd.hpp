@@ -10,6 +10,16 @@ class Tx;
 class ThreadCtx;
 struct TxDesc;
 class TObjectBase;
+class Backend;
+class DstmBackend;
+class OrecEngine;
+
+/// Which execution engine a Runtime drives (DESIGN.md §12). The CM layer,
+/// metrics, trace, liveness and checker sit above this choice.
+enum class BackendKind : std::uint8_t {
+  kDstm = 0,  // eager, obstruction-free per-object locators (the paper's substrate)
+  kOrec = 1,  // lazy TL2-style redo logs over a striped orec table
+};
 
 /// Lifecycle of one transaction attempt. Committed/Aborted are absorbing:
 /// the only transitions are Active -> Committed (self, at commit) and

@@ -25,6 +25,14 @@ std::string MetricsSummary::to_string() const {
                   static_cast<unsigned long long>(reader_stripe_retries),
                   static_cast<unsigned long long>(ebr_shard_syncs));
   }
+  if ((orec_lock_acquires | orec_lock_waits | orec_write_backs) != 0) {
+    const std::size_t used = std::char_traits<char>::length(buf);
+    std::snprintf(buf + used, sizeof(buf) - used,
+                  "  orec_locks=%llu orec_lock_waits=%llu orec_write_backs=%llu",
+                  static_cast<unsigned long long>(orec_lock_acquires),
+                  static_cast<unsigned long long>(orec_lock_waits),
+                  static_cast<unsigned long long>(orec_write_backs));
+  }
   return buf;
 }
 
@@ -37,6 +45,9 @@ MetricsSummary summarize(const ThreadMetrics& totals, std::int64_t elapsed_ns) {
   s.snapshot_interference = totals.snapshot_interference;
   s.reader_stripe_retries = totals.reader_stripe_retries;
   s.ebr_shard_syncs = totals.ebr_shard_syncs;
+  s.orec_lock_acquires = totals.orec_lock_acquires;
+  s.orec_lock_waits = totals.orec_lock_waits;
+  s.orec_write_backs = totals.orec_write_backs;
   if (elapsed_ns > 0) {
     s.throughput_per_s = static_cast<double>(totals.commits) /
                          (static_cast<double>(elapsed_ns) / 1e9);

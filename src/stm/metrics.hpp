@@ -73,6 +73,17 @@ struct ThreadMetrics {
   /// epoch) triggered by this thread's retires.
   std::uint64_t ebr_shard_syncs = 0;
 
+  // Orec backend (src/stm/orec/); all 0 under the DSTM engine. The shared
+  // validation counters above (validations, validated_reads, extensions,
+  // dup_reads, clock_bumps) are reused with the same meaning.
+  /// Orec write-locks successfully acquired at commit time.
+  std::uint64_t orec_lock_acquires = 0;
+  /// Lock-acquire iterations that found the orec held by an active enemy
+  /// (each one is a CM-arbitrated write-write conflict).
+  std::uint64_t orec_lock_waits = 0;
+  /// Redo-log entries written back under lock by committed transactions.
+  std::uint64_t orec_write_backs = 0;
+
   // Liveness layer (src/resilience/); all 0 unless the watchdog/escalation
   // ladder or chaos injection is enabled on the RuntimeConfig.
   /// Attempts that started at escalation level >= 1 (backoff or above).
@@ -127,6 +138,9 @@ struct ThreadMetrics {
     snapshot_interference += other.snapshot_interference;
     reader_stripe_retries += other.reader_stripe_retries;
     ebr_shard_syncs += other.ebr_shard_syncs;
+    orec_lock_acquires += other.orec_lock_acquires;
+    orec_lock_waits += other.orec_lock_waits;
+    orec_write_backs += other.orec_write_backs;
     escalations += other.escalations;
     serial_fallbacks += other.serial_fallbacks;
     timeouts += other.timeouts;
@@ -159,6 +173,11 @@ struct MetricsSummary {
   std::uint64_t snapshot_interference = 0;
   std::uint64_t reader_stripe_retries = 0;
   std::uint64_t ebr_shard_syncs = 0;
+
+  // Orec-backend totals; zero (and omitted from to_string()) under DSTM.
+  std::uint64_t orec_lock_acquires = 0;
+  std::uint64_t orec_lock_waits = 0;
+  std::uint64_t orec_write_backs = 0;
 
   std::string to_string() const;
 };

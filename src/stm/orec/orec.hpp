@@ -1,0 +1,71 @@
+// Ownership-record table for the lazy TL2-style engine (DESIGN.md §12).
+//
+// One orec is a versioned write-lock packed into a single atomic word:
+//
+//   unlocked:  (version << 1)        version = commit-clock value of the
+//                                    last write-back covering this orec
+//                                    (0 = never written)
+//   locked:    (TxDesc* | 1)         the committing owner
+//
+// A single CAS transitions unlocked -> locked, so there is never a state
+// where the lock is taken but the owner unknown — every intermediate state
+// names an enemy to arbitrate against, which both the contention managers
+// and the serialized deterministic checker rely on. TxDesc blocks are
+// allocated with at least pointer alignment, so bit 0 is free for the tag.
+//
+// Objects hash to orecs by address; the table is power-of-two sized and
+// deliberately unpadded (TL2-style): false sharing of *lock words* is a
+// bounded commit-time cost, while padding 2^16 entries to cache lines would
+// blow the table out of L2 entirely.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "stm/tx.hpp"
+
+namespace wstm::stm {
+
+class OrecTable {
+ public:
+  static constexpr std::uint64_t kLockBit = 1;
+
+  explicit OrecTable(std::uint32_t log2_size)
+      : mask_((std::size_t{1} << log2_size) - 1),
+        words_(new std::atomic<std::uint64_t>[std::size_t{1} << log2_size]) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      words_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  static bool locked(std::uint64_t w) noexcept { return (w & kLockBit) != 0; }
+  static TxDesc* owner_of(std::uint64_t w) noexcept {
+    return reinterpret_cast<TxDesc*>(w & ~kLockBit);
+  }
+  static std::uint64_t version_of(std::uint64_t w) noexcept { return w >> 1; }
+  static std::uint64_t pack_version(std::uint64_t version) noexcept { return version << 1; }
+  static std::uint64_t pack_owner(const TxDesc* owner) noexcept {
+    return reinterpret_cast<std::uint64_t>(owner) | kLockBit;
+  }
+
+  /// The orec covering the object with first-touch id `id` (see
+  /// TObjectBase::orec_id_ — ids rather than addresses keep the mapping
+  /// deterministic across runs). Objects sharing a slot share the lock and
+  /// the version — a false conflict, never a correctness problem (the
+  /// engine dedups lock acquisition by orec address).
+  std::atomic<std::uint64_t>& of_id(std::uint64_t id) noexcept {
+    // Fibonacci hash; take high output bits, which mix best.
+    const std::uint64_t v = id * 0x9e3779b97f4a7c15ULL;
+    return words_[static_cast<std::size_t>(v >> 32) & mask_];
+  }
+
+  std::size_t size() const noexcept { return mask_ + 1; }
+
+ private:
+  std::size_t mask_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+};
+
+}  // namespace wstm::stm

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "stm/orec/engine.hpp"
 #include "trace/recorder.hpp"
 
 namespace wstm::stm {
@@ -18,6 +19,62 @@ namespace {
 void release_desc_ref(void* desc_ptr) { static_cast<TxDesc*>(desc_ptr)->release(); }
 }  // namespace
 
+/// The DSTM locator engine behind the Backend interface (DESIGN.md §12):
+/// thin forwarding onto the Runtime protocol bodies below, kept as Runtime
+/// methods so porting the engine onto the backend concept stayed
+/// behavior-preserving line for line.
+class DstmBackend final : public Backend {
+ public:
+  explicit DstmBackend(Runtime& rt) : rt_(rt) {}
+  BackendKind kind() const noexcept override { return BackendKind::kDstm; }
+
+  void begin(ThreadCtx& tc) override {
+    if (!rt_.snapshot_ext_on_) return;
+    if (rt_.deferred_clock_on_) {
+      // Refresh the (clock, pending-set) snapshot for this attempt's
+      // fast-accepts. A snapshot's claim — "every commit with stamp <=
+      // snapshot_clock_ whose owner is not in the pending set completed
+      // before the establishment instant" — is about the global commit
+      // order, not about any one attempt, so on mid-scan interference the
+      // previous attempt's snapshot is kept: older merely accepts fewer
+      // stamps (DESIGN.md §11).
+      std::uint64_t clock = 0;
+      if (rt_.snapshot_establish(tc, clock)) {
+        tc.snapshot_clock_ = clock;
+        tc.pending_at_snapshot_.swap(tc.pending_scratch_);
+        tc.snapshot_valid_ = true;
+      } else {
+        tc.metrics_.snapshot_interference++;
+      }
+    } else {
+      // Validated-snapshot timestamp: the read set is empty, so invariant I
+      // (DESIGN.md §5) holds vacuously at this sample and every later open
+      // may skip validation until the clock moves past it.
+      tc.snapshot_clock_ = rt_.commit_clock_->load(std::memory_order_seq_cst);
+    }
+  }
+
+  const void* open_read(ThreadCtx& tc, TObjectBase& obj) override {
+    return rt_.dstm_open_read(tc, obj);
+  }
+  void* open_write(ThreadCtx& tc, TObjectBase& obj) override {
+    return rt_.dstm_open_write(tc, obj);
+  }
+  bool commit(ThreadCtx& tc) override { return rt_.dstm_commit(tc); }
+
+  void end(ThreadCtx& tc, bool /*committed*/) override {
+    for (TObjectBase* obj : tc.read_set_) {
+      tc.metrics_.reader_stripe_retries += obj->readers_.clear(tc.slot_);
+    }
+    tc.read_set_.clear();
+    tc.invis_reads_.clear();
+    tc.invis_index_.reset();
+  }
+
+ private:
+  Runtime& rt_;
+};
+
 Runtime::Runtime(cm::ManagerPtr manager, Config config)
     : manager_(std::move(manager)), config_(config) {
   if (!manager_) throw std::invalid_argument("Runtime requires a contention manager");
@@ -25,6 +82,17 @@ Runtime::Runtime(cm::ManagerPtr manager, Config config)
   // traffic there; cache the combined toggle for the hot paths.
   snapshot_ext_on_ = config_.snapshot_ext && !config_.visible_reads;
   deferred_clock_on_ = snapshot_ext_on_ && config_.deferred_clock;
+  if (config_.backend == BackendKind::kOrec) {
+    // The orec engine validates against orec words and the commit clock
+    // directly; the locator-mode read knobs (visible_reads, snapshot_ext,
+    // deferred_clock) have no orec-side consumer and stay off so no DSTM
+    // machinery runs by accident (see DESIGN.md §12 on the clock).
+    snapshot_ext_on_ = false;
+    deferred_clock_on_ = false;
+    backend_ = std::make_unique<OrecEngine>(*this, config_.orec_table_bits);
+  } else {
+    backend_ = std::make_unique<DstmBackend>(*this);
+  }
   manager_->attach_recorder(config_.recorder);
   if (config_.liveness.enabled) {
     liveness_owned_ = std::make_unique<resilience::LivenessManager>(config_.liveness);
@@ -290,30 +358,7 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
   guard.armed = false;  // published: commit/abort cleanup owns the state now
   tc.waited_this_attempt_ = false;
   tc.wrote_this_attempt_ = false;
-  if (snapshot_ext_on_) {
-    if (deferred_clock_on_) {
-      // Refresh the (clock, pending-set) snapshot for this attempt's
-      // fast-accepts. A snapshot's claim — "every commit with stamp <=
-      // snapshot_clock_ whose owner is not in the pending set completed
-      // before the establishment instant" — is about the global commit
-      // order, not about any one attempt, so on mid-scan interference the
-      // previous attempt's snapshot is kept: older merely accepts fewer
-      // stamps (DESIGN.md §11).
-      std::uint64_t clock = 0;
-      if (snapshot_establish(tc, clock)) {
-        tc.snapshot_clock_ = clock;
-        tc.pending_at_snapshot_.swap(tc.pending_scratch_);
-        tc.snapshot_valid_ = true;
-      } else {
-        tc.metrics_.snapshot_interference++;
-      }
-    } else {
-      // Validated-snapshot timestamp: the read set is empty, so invariant I
-      // (DESIGN.md §5) holds vacuously at this sample and every later open
-      // may skip validation until the clock moves past it.
-      tc.snapshot_clock_ = commit_clock_->load(std::memory_order_seq_cst);
-    }
-  }
+  backend_->begin(tc);
   if (trace::Recorder* rec = config_.recorder) {
     rec->record(tc.slot_, trace::EventKind::kBegin, desc->serial, is_retry ? 1 : 0);
     if (liveness_ != nullptr) {
@@ -344,10 +389,16 @@ TxDesc* Runtime::begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_
 }
 
 bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
-  TxDesc* desc = tc.current_;
   if (sched_point(check::Point::kCommit) == check::Action::kInjectAbort) {
     injected_abort(tc);  // spurious abort at the commit boundary
   }
+  const bool committed = backend_->commit(tc);
+  cleanup_attempt(tc, committed);
+  return committed;
+}
+
+bool Runtime::dstm_commit(ThreadCtx& tc) {
+  TxDesc* desc = tc.current_;
   // Invisible reads: the read set must still be current at the commit
   // point (throws TxAbort into the atomically() retry loop on failure).
   if (!config_.visible_reads) {
@@ -433,7 +484,6 @@ bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
     // old version, so "committing" anyway loses the update.
     desc->status.store(TxStatus::kCommitted, std::memory_order_seq_cst);
     pending_guard.fire();
-    cleanup_attempt(tc, /*committed=*/true);
     return true;
   }
   TxStatus expected = TxStatus::kActive;
@@ -442,13 +492,8 @@ bool Runtime::finish_attempt_commit(ThreadCtx& tc) {
   // Retract promptly (a lost CAS retracts too — the spurious sequence bump
   // at worst costs somebody one establishment retry).
   pending_guard.fire();
-  if (committed) {
-    cleanup_attempt(tc, /*committed=*/true);
-    return true;
-  }
-  // Killed by an enemy between the last open and the commit point.
-  cleanup_attempt(tc, /*committed=*/false);
-  return false;
+  // false: killed by an enemy between the last open and the commit point.
+  return committed;
 }
 
 void Runtime::finish_attempt_abort(ThreadCtx& tc) {
@@ -475,12 +520,10 @@ void Runtime::demote_irrevocable(ThreadCtx& tc, TxDesc* desc) {
 
 void Runtime::cleanup_attempt(ThreadCtx& tc, bool committed) {
   TxDesc* desc = tc.current_;
-  for (TObjectBase* obj : tc.read_set_) {
-    tc.metrics_.reader_stripe_retries += obj->readers_.clear(tc.slot_);
-  }
-  tc.read_set_.clear();
-  tc.invis_reads_.clear();
-  tc.invis_index_.reset();
+  // Engine teardown first, while still pinned: DSTM clears reader stripes
+  // and the invisible read set; orec releases still-held commit locks and
+  // drops unapplied redo-log clones.
+  backend_->end(tc, committed);
 
   // One clock read serves elapsed-time and response-time accounting (and
   // the trace event) — now_ns() is a measurable cost at millions of
@@ -685,9 +728,8 @@ void Runtime::open_prologue(ThreadCtx& tc) {
   if (chaos_ != nullptr) [[unlikely]] chaos_at_open(tc);
 }
 
-const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
-  open_prologue(tc);
-  if (!config_.visible_reads) return open_read_invisible(tc, obj);
+const void* Runtime::dstm_open_read(ThreadCtx& tc, TObjectBase& obj) {
+  if (!config_.visible_reads) return dstm_open_read_invisible(tc, obj);
   TxDesc* me = tc.current_;
 
   // Announce visibility first (flag protocol: the stripe bit-set must
@@ -734,7 +776,7 @@ const void* Runtime::open_read(ThreadCtx& tc, TObjectBase& obj) {
   }
 }
 
-const void* Runtime::open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
+const void* Runtime::dstm_open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
   TxDesc* me = tc.current_;
   for (;;) {
     if (sched_point(check::Point::kRead, &obj) == check::Action::kInjectAbort) {
@@ -1064,8 +1106,7 @@ void Runtime::extend_deferred(ThreadCtx& tc, std::uint64_t trigger_stamp) {
   }
 }
 
-void* Runtime::open_write(ThreadCtx& tc, TObjectBase& obj) {
-  open_prologue(tc);
+void* Runtime::dstm_open_write(ThreadCtx& tc, TObjectBase& obj) {
   TxDesc* me = tc.current_;
 
   for (;;) {

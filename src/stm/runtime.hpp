@@ -29,6 +29,7 @@
 
 #include "check/hooks.hpp"
 #include "cm/manager.hpp"
+#include "stm/backend.hpp"
 #include "ebr/ebr.hpp"
 #include "resilience/chaos.hpp"
 #include "resilience/errors.hpp"
@@ -52,10 +53,11 @@ namespace wstm::stm {
 /// it propagate out of the atomically() lambda.
 struct TxAbort {};
 
-/// Open-addressed pointer→index map over the invisible read set, letting
-/// open_read_invisible dedup re-reads in O(1). Generation-stamped so the
-/// per-attempt reset is O(1) (no clearing); capacity persists across
-/// attempts, matching the read-set vectors' allocation discipline.
+/// Open-addressed pointer→index map, generation-stamped so the per-attempt
+/// reset is O(1) (no clearing); capacity persists across attempts, matching
+/// the log vectors' allocation discipline. Used by open_read_invisible to
+/// dedup re-reads and by the orec engine to index its read/write logs —
+/// keys are opaque pointers (TObjectBase* or orec-word addresses).
 class InvisReadIndex {
  public:
   static constexpr std::uint32_t kNotFound = UINT32_MAX;
@@ -66,7 +68,7 @@ class InvisReadIndex {
   }
 
   /// Index of `obj` in the read set, or kNotFound when absent.
-  std::uint32_t find(const TObjectBase* obj) const noexcept {
+  std::uint32_t find(const void* obj) const noexcept {
     if (slots_.empty()) return kNotFound;
     const std::size_t mask = slots_.size() - 1;
     for (std::size_t i = hash(obj) & mask;; i = (i + 1) & mask) {
@@ -76,8 +78,8 @@ class InvisReadIndex {
     }
   }
 
-  /// Pre: `obj` is absent. `idx` is its position in invis_reads_.
-  void insert(const TObjectBase* obj, std::uint32_t idx) {
+  /// Pre: `obj` is absent. `idx` is its position in the indexed log.
+  void insert(const void* obj, std::uint32_t idx) {
     if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) grow();
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = hash(obj) & mask;
@@ -88,12 +90,12 @@ class InvisReadIndex {
 
  private:
   struct Slot {
-    const TObjectBase* obj;
+    const void* obj;
     std::uint32_t idx;
     std::uint64_t gen;
   };
 
-  static std::size_t hash(const TObjectBase* obj) noexcept {
+  static std::size_t hash(const void* obj) noexcept {
     // Fibonacci hash over the pointer bits above the allocation alignment.
     std::uint64_t v = reinterpret_cast<std::uintptr_t>(obj) >> 4;
     v *= 0x9e3779b97f4a7c15ULL;
@@ -133,6 +135,8 @@ class ThreadCtx {
  private:
   friend class Runtime;
   friend class Tx;
+  friend class DstmBackend;
+  friend class OrecEngine;
 
   struct TrackedAlloc {
     void* ptr;
@@ -251,6 +255,20 @@ class Tx {
 struct RuntimeConfig {
   std::uint64_t seed = 0x5eed;  // base seed for per-thread RNGs
 
+  /// Execution engine (DESIGN.md §12). kDstm: eager obstruction-free
+  /// per-object locators — the paper's substrate, with all the read-mode /
+  /// snapshot / deferred-clock knobs below. kOrec: lazy TL2-style engine
+  /// (redo-log write buffering over a striped orec table, commit-time lock
+  /// acquisition, timestamp read-set validation against the same commit
+  /// clock). The CM family, liveness ladder, metrics, trace and checker
+  /// apply identically to both.
+  BackendKind backend = BackendKind::kDstm;
+
+  /// log2 of the orec-table size (orec backend only). Every TObject hashes
+  /// to one of 2^bits versioned write-locks; smaller tables raise false
+  /// sharing of locks, which the engine must (and tests do) tolerate.
+  std::uint32_t orec_table_bits = 16;
+
   /// Preemption emulation for hosts with fewer hardware threads than
   /// benchmark threads: with probability permille/1000, yield the CPU at
   /// each object open. On a single-core host OS timeslices (~ms) dwarf
@@ -330,6 +348,11 @@ struct RuntimeConfig {
     /// (opacity bug — the exact staleness window the pending rule closes;
     /// see DESIGN.md §11).
     bool stamp_no_pending = false;
+    /// Orec backend: commit after lock acquisition WITHOUT the read-set
+    /// timestamp validation, publishing writes derived from a snapshot that
+    /// may already be stale (the classic TL2 validation invariant, broken
+    /// on purpose; serializability bug).
+    bool orec_skip_validation = false;
   };
   DebugFaults bugs;
 
@@ -446,12 +469,30 @@ class Runtime {
   const resilience::ChaosInjector* chaos() const noexcept { return chaos_; }
   resilience::ChaosInjector* chaos() noexcept { return chaos_; }
 
+  /// Which execution engine this runtime was built with (DESIGN.md §12).
+  BackendKind backend_kind() const noexcept { return backend_->kind(); }
+
  private:
   friend class Tx;
+  friend class DstmBackend;
+  friend class OrecEngine;
 
-  const void* open_read(ThreadCtx& tc, TObjectBase& obj);
-  const void* open_read_invisible(ThreadCtx& tc, TObjectBase& obj);
-  void* open_write(ThreadCtx& tc, TObjectBase& obj);
+  /// Engine dispatch: shared prologue (preemption emulation, liveness
+  /// heartbeat, chaos), then the backend's open protocol.
+  const void* open_read(ThreadCtx& tc, TObjectBase& obj) {
+    open_prologue(tc);
+    return backend_->open_read(tc, obj);
+  }
+  void* open_write(ThreadCtx& tc, TObjectBase& obj) {
+    open_prologue(tc);
+    return backend_->open_write(tc, obj);
+  }
+
+  // DSTM (locator) protocol bodies, called by DstmBackend.
+  const void* dstm_open_read(ThreadCtx& tc, TObjectBase& obj);
+  const void* dstm_open_read_invisible(ThreadCtx& tc, TObjectBase& obj);
+  void* dstm_open_write(ThreadCtx& tc, TObjectBase& obj);
+  bool dstm_commit(ThreadCtx& tc);
 
   TxDesc* begin_attempt(ThreadCtx& tc, std::int64_t first_begin, bool is_retry);
   bool finish_attempt_commit(ThreadCtx& tc);  // false = lost the commit race
@@ -578,8 +619,12 @@ class Runtime {
 
   cm::ManagerPtr manager_;
   Config config_;
+  /// The execution engine (DstmBackend or OrecEngine per config_.backend),
+  /// constructed once in the ctor; never null after construction.
+  std::unique_ptr<Backend> backend_;
   /// config_.snapshot_ext && !config_.visible_reads, cached so visible-mode
-  /// runs never touch the shared clock line.
+  /// runs never touch the shared clock line. Forced off under the orec
+  /// backend (which validates against orec words, not locators).
   bool snapshot_ext_on_ = false;
   /// snapshot_ext_on_ && config_.deferred_clock, cached likewise.
   bool deferred_clock_on_ = false;

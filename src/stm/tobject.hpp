@@ -151,8 +151,11 @@ class TObjectBase {
         payload_size_(payload_size) {}
 
   /// Must only run at quiescence (e.g. after EBR grace for an unlinked
-  /// node): frees the installed locator and every surviving version.
+  /// node): frees the installed locator and every surviving version. Under
+  /// the orec backend the latest committed payload lives in orec_body_ (the
+  /// locator then still owns the initial version).
   ~TObjectBase() {
+    if (void* b = orec_body_.load(std::memory_order_relaxed)) destroy_(b);
     Locator* l = loc_.load(std::memory_order_relaxed);
     if (l->owner != nullptr) l->owner->release();
     if (l->old_version != nullptr) destroy_(l->old_version);
@@ -166,6 +169,9 @@ class TObjectBase {
   /// Unsynchronized read of the current committed version. Only meaningful
   /// at quiescence (validation in tests, sizing between benchmark phases).
   const void* quiescent_version() const noexcept {
+    // Orec backend: the redo-log write-back target supersedes the (frozen)
+    // initial locator. Null outside orec mode, so DSTM pays one load.
+    if (const void* b = orec_body_.load(std::memory_order_acquire)) return b;
     const Locator* l = loc_.load(std::memory_order_acquire);
     if (l->owner == nullptr) return l->new_version;
     return l->owner->status.load(std::memory_order_acquire) == TxStatus::kCommitted
@@ -176,6 +182,8 @@ class TObjectBase {
  private:
   friend class Runtime;
   friend class Tx;
+  friend class DstmBackend;
+  friend class OrecEngine;
 
   /// Clone for acquisition: pooled when the payload fits a size class,
   /// global pass-through otherwise (the hint keeps oversize payloads off the
@@ -189,6 +197,17 @@ class TObjectBase {
   CloneFn clone_;
   DestroyFn destroy_;
   std::uint32_t payload_size_;
+  /// Orec backend only: the latest committed payload, installed by a
+  /// committer's write-back while it holds this object's orec lock; null
+  /// means "still the initial version" (owned by loc_). A TObject belongs
+  /// to exactly one Runtime, so the two engines never mix on one object.
+  std::atomic<void*> orec_body_{nullptr};
+  /// Orec backend only: first-touch id driving the object -> orec hash
+  /// (0 = not yet assigned). Ids, not addresses, so the orec mapping — and
+  /// with it every conflict and lock-acquisition order — is identical
+  /// across runs and processes, which the deterministic checker's replay
+  /// and the cross-variant decision-parity tests rely on.
+  std::atomic<std::uint64_t> orec_id_{0};
 };
 
 /// Typed transactional object. T must be copy-constructible (clone-on-write).

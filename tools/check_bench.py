@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate on microbench JSON output (Google Benchmark --benchmark_out).
 
-Two modes:
+Modes:
 
 * --mode alloc (default, BENCH_micro.json): the pooled hot path must be
   allocation-free in steady state. `BM_AllocPressureWriteTx/1` (pooling on)
@@ -26,6 +26,16 @@ Two modes:
   gated only when context.host_cpus >= 16; an oversubscribed host
   serializes the writers and measures the OS scheduler, not the clock.
 
+* --mode backend (BENCH_backend.json, from bench/fig_backend --json): the
+  eager-vs-lazy engine sweep. Always gated, per row: validation passed,
+  attempt conservation (attempts == commits + aborts), commits > 0, and the
+  backend split is sane (every (benchmark, M) cell has BOTH a dstm and an
+  orec row; orec rows recorded write-backs, dstm rows recorded none). The
+  performance clause — on the low-contention intset ("list") cell at M=8,
+  orec sustains at least --min-orec-attempt-ratio x dstm's attempts/s (lazy
+  commit-time locking beats eager per-open locator CAS when conflicts are
+  rare) — is additionally gated only when context.host_cpus >= 8.
+
 * --mode serve (BENCH_serve.json, from bench/fig_serve_scaling --json): the
   serving front-end must not lose requests. Always gated, per cell:
   validation passed, accepted == enqueued == dequeued, and
@@ -45,6 +55,8 @@ Usage: check_bench.py BENCH_micro.json [--max-allocs-per-attempt 0.5]
            [--min-throughput-ratio 1.2] [--max-p99-ratio 0.7]
        check_bench.py BENCH_scaling.json --mode scaling \
            [--max-bump-ratio 0.2] [--min-deferred-throughput-ratio 0.9]
+       check_bench.py BENCH_backend.json --mode backend \
+           [--min-orec-attempt-ratio 1.5]
 """
 
 import argparse
@@ -323,11 +335,120 @@ def gate_scaling(report, max_bump_ratio: float, min_deferred_throughput_ratio: f
     return 1 if failed else 0
 
 
+def load_backend_report(json_path: str):
+    """BENCH_backend.json is fig_backend's own format:
+    {"context": {...}, "backend": [rows]}."""
+    try:
+        with open(json_path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: {json_path}: cannot load: {e}", file=sys.stderr)
+        return None
+    if not isinstance(report, dict) or not isinstance(report.get("backend"), list):
+        print(
+            f"check_bench: {json_path}: no 'backend' array; expected "
+            "fig_backend --json output",
+            file=sys.stderr,
+        )
+        return None
+    return report
+
+
+def gate_backend(report, min_orec_attempt_ratio: float) -> int:
+    rows = report["backend"]
+    if not rows:
+        print("check_bench: backend report has no rows", file=sys.stderr)
+        return 1
+    context = report.get("context", {})
+    host_cpus = context.get("host_cpus", 0)
+    failed = False
+
+    # Structural gates, always enforced.
+    cells = {}
+    for r in rows:
+        name = (
+            f"{r.get('benchmark', '?')}/M={r.get('threads', '?')}/"
+            f"{r.get('backend', '?')}"
+        )
+        if not r.get("valid", False):
+            print(f"check_bench: {name}: workload validation FAILED", file=sys.stderr)
+            failed = True
+        attempts = r.get("attempts", -1)
+        accounted = r.get("commits", 0) + r.get("aborts", 0)
+        if attempts != accounted:
+            print(
+                f"check_bench: {name}: attempt conservation FAILED "
+                f"(attempts={attempts} commits+aborts={accounted})",
+                file=sys.stderr,
+            )
+            failed = True
+        elif r.get("commits", 0) <= 0:
+            print(f"check_bench: {name}: zero commits", file=sys.stderr)
+            failed = True
+        else:
+            print(f"check_bench: {name}: conserved {attempts} attempts, valid ok")
+        # The orec counters separate the engines: the lazy engine commits by
+        # write-back, the eager engine never touches that path.
+        write_backs = r.get("orec_write_backs", 0)
+        if r.get("backend") == "orec" and r.get("commits", 0) > 0 and write_backs == 0:
+            print(
+                f"check_bench: {name}: orec row recorded no write-backs "
+                "(lazy engine not active?)",
+                file=sys.stderr,
+            )
+            failed = True
+        if r.get("backend") == "dstm" and write_backs != 0:
+            print(
+                f"check_bench: {name}: dstm row recorded orec write-backs",
+                file=sys.stderr,
+            )
+            failed = True
+        cells.setdefault((r.get("benchmark"), r.get("threads")), set()).add(
+            r.get("backend")
+        )
+    for (benchmark, threads), backends in sorted(cells.items()):
+        if backends != {"dstm", "orec"}:
+            print(
+                f"check_bench: {benchmark}/M={threads}: cell is missing a backend "
+                f"(have {sorted(backends)})",
+                file=sys.stderr,
+            )
+            failed = True
+
+    # Performance clause: lazy commit-time locking must beat the eager
+    # per-open locator CAS on the low-contention intset cell — but only
+    # where the committers actually run concurrently.
+    enforce = isinstance(host_cpus, int) and host_cpus >= 8
+    by_key = {
+        (r.get("benchmark"), r.get("threads"), r.get("backend")): r for r in rows
+    }
+    dstm8 = by_key.get(("list", 8, "dstm"))
+    orec8 = by_key.get(("list", 8, "orec"))
+    if dstm8 is not None and orec8 is not None and dstm8.get("attempts_per_s", 0) > 0:
+        ratio = orec8.get("attempts_per_s", 0) / dstm8["attempts_per_s"]
+        ok = ratio >= min_orec_attempt_ratio
+        verdict = "ok" if ok else ("FAIL" if enforce else "miss (not gated)")
+        print(
+            f"check_bench: list M=8 orec vs dstm attempts/s: x{ratio:.3f} "
+            f"(need >= {min_orec_attempt_ratio}) {verdict}"
+        )
+        if not ok and enforce:
+            failed = True
+    if not enforce:
+        print(
+            f"check_bench: backend performance clause informational only "
+            f"(host_cpus={host_cpus} < 8)"
+        )
+    return 1 if failed else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path")
     parser.add_argument(
-        "--mode", choices=("alloc", "readval", "serve", "scaling"), default="alloc"
+        "--mode",
+        choices=("alloc", "readval", "serve", "scaling", "backend"),
+        default="alloc",
     )
     parser.add_argument("--max-allocs-per-attempt", type=float, default=0.5)
     parser.add_argument("--max-validations-per-read", type=float, default=1.05)
@@ -335,7 +456,14 @@ def main() -> int:
     parser.add_argument("--max-p99-ratio", type=float, default=0.7)
     parser.add_argument("--max-bump-ratio", type=float, default=0.2)
     parser.add_argument("--min-deferred-throughput-ratio", type=float, default=0.9)
+    parser.add_argument("--min-orec-attempt-ratio", type=float, default=1.5)
     args = parser.parse_args()
+
+    if args.mode == "backend":
+        report = load_backend_report(args.json_path)
+        if report is None:
+            return 1
+        return gate_backend(report, args.min_orec_attempt_ratio)
 
     if args.mode == "serve":
         report = load_serve_report(args.json_path)

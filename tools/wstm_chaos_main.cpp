@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
   cli.add_flag("threads", "worker threads per cell", std::int64_t{4});
   cli.add_flag("ms", "measured milliseconds per cell", std::int64_t{250});
   cli.add_flag("seed", "base RNG seed", std::int64_t{42});
+  cli.add_flag("backend", "execution engine: dstm | orec", std::string("dstm"));
   cli.add_flag("intensity", "chaos fault-probability scale factor", 1.0);
   cli.add_flag("deadline-ms", "hard per-transaction deadline (0 = none)",
                std::int64_t{10'000});
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   run.threads = static_cast<std::uint32_t>(cli.get_int("threads"));
   run.duration_ms = cli.get_int("ms");
   run.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  run.backend = cli.get_string("backend");
   run.liveness.enabled = true;
   run.liveness.deadline_ns = cli.get_int("deadline-ms") * 1'000'000;
   run.chaos = resilience::default_chaos(cli.get_double("intensity"));

@@ -37,6 +37,8 @@ void add_config_flags(wstm::Cli& cli, const CheckConfig& d) {
   cli.add_flag("ops", "operations per thread", static_cast<std::int64_t>(d.ops_per_thread));
   cli.add_flag("key-range", "keys drawn from [0, key-range); max 64",
                static_cast<std::int64_t>(d.key_range));
+  cli.add_flag("backend", "execution engine: dstm (eager locator) | orec (lazy TL2-style)",
+               d.backend);
   cli.add_flag("visible-reads", "visible (true) or invisible (false) read mode",
                d.visible_reads);
   cli.add_flag("snapshot-ext",
@@ -74,7 +76,7 @@ void add_config_flags(wstm::Cli& cli, const CheckConfig& d) {
                d.liveness);
   cli.add_flag("bug",
                "seeded protocol bug: none|blind-commit|skip-reader-abort|"
-               "skip-cas-recheck|stamp-no-pending",
+               "skip-cas-recheck|stamp-no-pending|skip-read-validation (orec)",
                d.bug);
 }
 
@@ -85,6 +87,7 @@ CheckConfig config_from_cli(const wstm::Cli& cli) {
   c.threads = static_cast<unsigned>(cli.get_int("threads"));
   c.ops_per_thread = static_cast<unsigned>(cli.get_int("ops"));
   c.key_range = cli.get_int("key-range");
+  c.backend = cli.get_string("backend");
   c.visible_reads = cli.get_bool("visible-reads");
   c.snapshot_ext = cli.get_bool("snapshot-ext");
   c.deferred_clock = cli.get_bool("deferred-clock");
