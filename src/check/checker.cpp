@@ -63,10 +63,12 @@ stm::RuntimeConfig::DebugFaults parse_bug(const std::string& bug) {
     b.stamp_no_pending = true;
   } else if (bug == "skip-read-validation") {
     b.orec_skip_validation = true;  // orec backend only; a no-op under dstm
+  } else if (bug == "park-lost-wakeup") {
+    b.park_lost_wakeup = true;  // meaningful only with arbitration=wait
   } else {
     throw std::invalid_argument("unknown seeded bug \"" + bug +
                                 "\" (none|blind-commit|skip-reader-abort|skip-cas-recheck|"
-                                "stamp-no-pending|skip-read-validation)");
+                                "stamp-no-pending|skip-read-validation|park-lost-wakeup)");
   }
   return b;
 }
@@ -119,6 +121,7 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
   stm::RuntimeConfig rtc;
   rtc.seed = cfg.seed;
   rtc.backend = stm::parse_backend(cfg.backend);
+  rtc.arbitration = stm::parse_arbitration(cfg.arbitration);
   rtc.visible_reads = cfg.visible_reads;
   rtc.snapshot_ext = cfg.snapshot_ext;
   rtc.deferred_clock = cfg.deferred_clock;
@@ -147,6 +150,7 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
   cm::Params params;
   params.threads = cfg.threads;
   params.window_n = cfg.window_n;
+  params.requester_waits = rtc.arbitration == stm::ArbitrationMode::kWait;
 
   // Destruction order matters: the Runtime must die before the set (its EBR
   // drain frees retired nodes the set no longer owns) and before the
@@ -225,6 +229,18 @@ RunResult Checker::run_with_policy(Policy& policy, const CheckConfig& cfg) {
     const char* what = exec.first_opacity_violation();
     rr.diagnosis += "opacity: " + std::to_string(ov) + " ghost-check failure(s): " +
                     (what != nullptr ? what : "(unknown)");
+  }
+
+  // Requester-waits deadlock-freedom oracle: the executor observed a state
+  // where every runnable thread was parked on a descriptor with no unpark
+  // edge left to fire — a lost wakeup (a commit/abort path skipped its
+  // signal_status_change) or a cycle of parked descriptors.
+  if (const std::uint64_t pd = exec.park_deadlocks()) {
+    rr.violation = true;
+    if (!rr.diagnosis.empty()) rr.diagnosis += "\n";
+    rr.diagnosis += "park-deadlock: " + std::to_string(pd) +
+                    " state(s) with every runnable thread parked and no unpark edge "
+                    "pending (lost wakeup or park cycle)";
   }
 
   if (cm::is_window_manager(cfg.cm)) {

@@ -20,6 +20,7 @@ VirtualExecutor::VirtualExecutor(unsigned num_threads, Policy& policy, std::uint
       parked_(num_threads, Point::kThreadStart),
       granted_(num_threads, Action::kProceed),
       stalled_until_(num_threads, 0),
+      blocked_on_(num_threads, nullptr),
       // Nonzero epoch so virtual timestamps never collide with the "unset"
       // zero that some metrics fields start from.
       vnow_(1'000'000) {
@@ -52,12 +53,23 @@ void VirtualExecutor::thread_done() {
   }
 }
 
-Action VirtualExecutor::on_point(Point p, const void* /*object*/) noexcept {
+Action VirtualExecutor::on_point(Point p, const void* object) noexcept {
   const int vid = tl_vid;
   if (vid < 0) return Action::kProceed;
   if (free_run_.load(std::memory_order_relaxed)) return Action::kProceed;
   std::unique_lock lock(mu_);
   if (free_run_.load(std::memory_order_relaxed)) return Action::kProceed;
+  // Park/unpark side effects apply at *arrival*, not at grant: only one
+  // thread runs between two grants, so arrival order is itself determined
+  // by the decision log and replay stays bit-identical.
+  if (p == Point::kUnpark && object != nullptr) {
+    for (unsigned i = 0; i < num_threads_; ++i) {
+      if (blocked_on_[i] == object) blocked_on_[i] = nullptr;
+    }
+  } else if (p == Point::kPark && object != nullptr) {
+    const auto* edge = static_cast<const ParkEdge*>(object);
+    blocked_on_[static_cast<std::size_t>(vid)] = edge->enemy;
+  }
   state_[static_cast<std::size_t>(vid)] = State::kWaiting;
   parked_[static_cast<std::size_t>(vid)] = p;
   if (running_ == vid) running_ = -1;
@@ -66,6 +78,7 @@ Action VirtualExecutor::on_point(Point p, const void* /*object*/) noexcept {
     return running_ == vid || free_run_.load(std::memory_order_relaxed);
   });
   if (running_ != vid) return Action::kProceed;  // released by free-run
+  blocked_on_[static_cast<std::size_t>(vid)] = nullptr;  // granted ⇒ woken
   return granted_[static_cast<std::size_t>(vid)];
 }
 
@@ -80,17 +93,35 @@ void VirtualExecutor::grant_next_locked() {
   for (;;) {
     std::vector<int> eligible;
     bool any_waiting = false;
+    bool any_stalled = false;
+    bool any_parked = false;
     for (unsigned i = 0; i < num_threads_; ++i) {
       if (state_[i] != State::kWaiting) continue;
       any_waiting = true;
+      if (blocked_on_[i] != nullptr) {
+        any_parked = true;
+        continue;
+      }
       if (stalled_until_[i] <= step_) eligible.push_back(static_cast<int>(i));
+      else any_stalled = true;
     }
     if (!any_waiting) return;  // everyone done (or running, impossible here)
     if (eligible.empty()) {
-      // Every waiting thread is stalled; forcing the stalls to expire keeps
-      // the run live without making any of them spuriously eligible earlier
-      // in a *replayed* schedule (replay never stalls).
-      for (unsigned i = 0; i < num_threads_; ++i) stalled_until_[i] = 0;
+      if (any_stalled) {
+        // Every runnable thread is stalled; forcing the stalls to expire
+        // keeps the run live without making any of them spuriously eligible
+        // earlier in a *replayed* schedule (replay never stalls).
+        for (unsigned i = 0; i < num_threads_; ++i) stalled_until_[i] = 0;
+        continue;
+      }
+      // Every waiting thread is parked on a descriptor and no unpark edge
+      // can ever fire (the would-be wakers are all parked or done): a lost
+      // wakeup or a park cycle. Record the deadlock-freedom violation and
+      // force-wake everyone so the run terminates — the wake lands at this
+      // exact decision index on replay, keeping the repro deterministic.
+      (void)any_parked;  // implied: any_waiting && !any_stalled && no eligible
+      park_deadlocks_.fetch_add(1, std::memory_order_acq_rel);
+      for (unsigned i = 0; i < num_threads_; ++i) blocked_on_[i] = nullptr;
       continue;
     }
     const Choice c = policy_.choose(step_, eligible, parked_);
@@ -119,6 +150,7 @@ void VirtualExecutor::enter_free_run_locked() {
   // Real time must flow again or CM waits spin on a frozen clock.
   set_virtual_clock(nullptr);
   for (unsigned i = 0; i < num_threads_; ++i) {
+    blocked_on_[i] = nullptr;
     if (state_[i] == State::kWaiting) state_[i] = State::kRunning;
   }
   cv_.notify_all();

@@ -75,6 +75,16 @@ class VirtualExecutor final : public SchedulerHook {
     return first_opacity_what_.load(std::memory_order_acquire);
   }
 
+  /// Requester-waits oracle: number of times every runnable thread was
+  /// parked on a descriptor with no unpark edge left to fire — a lost
+  /// wakeup or a park cycle, either way a deadlock-freedom violation. The
+  /// executor force-wakes all parked threads when it fires (deterministic
+  /// under replay: the wake happens at the same decision index), so the run
+  /// still terminates and can be shrunk. Read after workers have joined.
+  std::uint64_t park_deadlocks() const noexcept {
+    return park_deadlocks_.load(std::memory_order_acquire);
+  }
+
  private:
   enum class State : std::uint8_t { kUnregistered, kWaiting, kRunning, kDone };
 
@@ -94,6 +104,10 @@ class VirtualExecutor final : public SchedulerHook {
   std::vector<Point> parked_;         // valid while kWaiting
   std::vector<Action> granted_;       // action handed to the last grantee
   std::vector<std::uint64_t> stalled_until_;  // step before which vid is ineligible
+  /// Requester-waits model: enemy TxDesc a vid is parked on (set at kPark
+  /// arrival, cleared when a kUnpark for that descriptor arrives or the
+  /// deadlock oracle force-wakes). Non-null ⇒ ineligible.
+  std::vector<const void*> blocked_on_;
   unsigned registered_ = 0;
   int running_ = -1;
   std::uint64_t step_ = 0;
@@ -104,6 +118,7 @@ class VirtualExecutor final : public SchedulerHook {
   // (over budget), where no token serializes the callers.
   std::atomic<std::uint64_t> opacity_violations_{0};
   std::atomic<const char*> first_opacity_what_{nullptr};
+  std::atomic<std::uint64_t> park_deadlocks_{0};
 };
 
 }  // namespace wstm::check

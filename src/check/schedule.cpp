@@ -10,7 +10,8 @@ namespace {
 constexpr char kMagic[] = "wstm-schedule v1";
 
 // One letter per Point keeps decision lines at ~8 bytes.
-constexpr char kPointLetters[kNumPoints] = {'S', 'B', 'R', 'W', 'C', 'M', 'A', 'V', 'L', 'D'};
+constexpr char kPointLetters[kNumPoints] = {'S', 'B', 'R', 'W', 'C', 'M',
+                                            'A', 'V', 'L', 'D', 'P', 'U'};
 
 char point_letter(Point p) { return kPointLetters[static_cast<unsigned>(p)]; }
 
@@ -59,6 +60,8 @@ const char* point_name(Point p) noexcept {
     case Point::kReaderResolve: return "reader-resolve";
     case Point::kOrecLock: return "orec-lock";
     case Point::kOrecValidate: return "orec-validate";
+    case Point::kPark: return "park";
+    case Point::kUnpark: return "unpark";
   }
   return "?";
 }
@@ -102,6 +105,7 @@ std::string to_text(const Schedule& schedule) {
   out << "tick_ns " << c.tick_ns << '\n';
   out << "window_n " << c.window_n << '\n';
   out << "backend " << c.backend << '\n';
+  out << "arbitration " << c.arbitration << '\n';
   out << "p_abort " << c.faults.p_abort << '\n';
   out << "p_fail_cas " << c.faults.p_fail_cas << '\n';
   out << "p_stall " << c.faults.p_stall << '\n';
@@ -171,6 +175,9 @@ Schedule schedule_from_text(const std::string& text) {
       else if (key == "window_n") c.window_n = as_u32();
       // Absent in pre-backend files ⇒ the DSTM engine those runs used.
       else if (key == "backend") c.backend = sval;
+      // Absent in pre-parking files ⇒ the abort-only arbitration they used
+      // (the CheckConfig default; no preset needed before the parse).
+      else if (key == "arbitration") c.arbitration = sval;
       else if (key == "p_abort") c.faults.p_abort = as_f();
       else if (key == "p_fail_cas") c.faults.p_fail_cas = as_f();
       else if (key == "p_stall") c.faults.p_stall = as_f();

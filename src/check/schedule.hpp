@@ -97,6 +97,11 @@ struct CheckConfig {
   /// Execution engine under test: dstm | orec (stm::RuntimeConfig::backend).
   /// Absent from pre-backend schedule files, which default here.
   std::string backend = "dstm";
+  /// Conflict-arbitration mode: abort | wait (stm::RuntimeConfig::
+  /// arbitration). Wait mode adds kPark/kUnpark schedule points, so a repro
+  /// must replay with the same mode. Absent from pre-parking schedule
+  /// files, which default here.
+  std::string arbitration = "abort";
   /// Arm the resilience liveness layer (escalation ladder + irrevocable
   /// serial-fallback token) with checker-friendly settings: tight
   /// escalation thresholds, no real-time backoff sleeps, no watchdog

@@ -20,8 +20,16 @@ stm::Resolution Greedy::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDe
   if (enemy.waiting.load(std::memory_order_acquire)) return stm::Resolution::kAbortEnemy;
 
   // Enemy is older and running: wait (visibly, so others may kill us).
+  // Requester-waits parks on the enemy's descriptor; otherwise yield_safe
+  // keeps the wait schedule-pure under the deterministic checker (a raw
+  // yield there perturbs the serialized executor's interleaving). Bare
+  // managers without a Runtime keep the historical yield.
   tx.waiting.store(true, std::memory_order_release);
-  std::this_thread::yield();
+  if (waiter_ != nullptr) {
+    if (!waiter_->park_until_inactive(self, tx, enemy, 50'000)) waiter_->yield_safe();
+  } else {
+    std::this_thread::yield();
+  }
   tx.waiting.store(false, std::memory_order_release);
   if (!tx.is_active()) return stm::Resolution::kAbortSelf;
   return stm::Resolution::kRetry;

@@ -34,6 +34,33 @@ struct FrameSchedule {
   std::uint64_t alpha = 1;          ///< delay range α = C/ln(MN), clamped [1, N]
 };
 
+/// Wait-capable arbitration verb the Runtime offers its managers
+/// (requester-waits mode, DESIGN.md §13). Managers that would otherwise
+/// spin/yield out a conflict call park_until_inactive and fall back to
+/// their historical wait loop when it returns false. Implemented by the
+/// Runtime (which owns the ParkingLot, the deadline bounds, the watchdog
+/// beacons and the checker's kPark/kUnpark points); attached through the
+/// same null-toggle idiom as trace::Recorder.
+class WaitHooks {
+ public:
+  virtual ~WaitHooks() = default;
+
+  /// Parks the calling thread until `enemy` leaves Active, an unpark edge
+  /// fires, or `max_wait_ns` elapses — whichever is first; never unbounded.
+  /// Returns false without waiting when parking is unavailable: abort-mode
+  /// runtime, irrevocable (serial-token) self, non-positive budget, or a
+  /// park that would close a waiter cycle. The caller re-examines the
+  /// conflict afterwards either way (spurious-wakeup semantics).
+  virtual bool park_until_inactive(stm::ThreadCtx& self, const stm::TxDesc& tx,
+                                   const stm::TxDesc& enemy,
+                                   std::int64_t max_wait_ns) noexcept = 0;
+
+  /// Schedule-pure yield: a real std::this_thread::yield() in normal
+  /// operation, a no-op under the deterministic checker (whose serialized
+  /// executor owns all interleaving; a raw yield there is schedule-impure).
+  virtual void yield_safe() noexcept = 0;
+};
+
 class ContentionManager {
  public:
   virtual ~ContentionManager() = default;
@@ -103,6 +130,11 @@ class ContentionManager {
   /// tracing is off). Managers record backoff/priority events through it.
   void attach_recorder(trace::Recorder* recorder) noexcept { recorder_ = recorder; }
 
+  /// Wires the Runtime's wait verb (always attached by the Runtime ctor;
+  /// null only for managers constructed bare in unit tests, where waits
+  /// fall back to the historical spin/yield loops).
+  void attach_wait_hooks(WaitHooks* waiter) noexcept { waiter_ = waiter; }
+
  protected:
   /// Records a kBackoff event for a wait the manager performed on behalf of
   /// `tx` (no-op without a recorder). Defined in manager.cpp.
@@ -112,6 +144,9 @@ class ContentionManager {
   /// Null when tracing is disabled. Concrete managers gate every recording
   /// on this pointer so the untraced hot path stays branch-predictable.
   trace::Recorder* recorder_ = nullptr;
+
+  /// Runtime wait verb, null only without a Runtime (bare unit tests).
+  WaitHooks* waiter_ = nullptr;
 };
 
 using ManagerPtr = std::unique_ptr<ContentionManager>;

@@ -37,7 +37,10 @@ stm::Resolution Polka::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDes
   const std::int64_t wait_begin = recorder_ != nullptr ? now_ns() : 0;
   const auto trace_wait = [&](std::uint32_t slices) {
     if (recorder_ != nullptr && slices > 0) {
-      record_backoff(self, tx, static_cast<std::uint64_t>(now_ns() - wait_begin), slices);
+      // The checker's virtual clock can rewind now_ns() past wait_begin;
+      // clamp before the unsigned conversion or the event records ~2^64 ns.
+      const std::int64_t waited = now_ns() - wait_begin;
+      record_backoff(self, tx, waited > 0 ? static_cast<std::uint64_t>(waited) : 0, slices);
     }
   };
   for (std::uint32_t k = 0; k < attempts; ++k) {
@@ -50,8 +53,14 @@ stm::Resolution Polka::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::TxDes
       return stm::Resolution::kRetry;
     }
     const std::uint32_t exp = k < 12 ? k : 12;  // cap one slice at ~4 ms
-    const auto slice = std::chrono::nanoseconds(1000ULL << exp);
-    yield_until(slice, [&] { return !enemy.is_active() || !tx.is_active(); });
+    const std::int64_t slice_ns = static_cast<std::int64_t>(1000ULL << exp);
+    // Requester-waits: park the slice instead of burning it on yields (the
+    // enemy's commit/abort fires the unpark edge). Falls back to the
+    // historical yield loop in abort mode or without a Runtime.
+    if (waiter_ == nullptr || !waiter_->park_until_inactive(self, tx, enemy, slice_ns)) {
+      yield_until(std::chrono::nanoseconds(slice_ns),
+                  [&] { return !enemy.is_active() || !tx.is_active(); });
+    }
   }
   trace_wait(attempts);
   if (!tx.is_active()) return stm::Resolution::kAbortSelf;

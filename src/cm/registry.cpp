@@ -32,6 +32,7 @@ ManagerPtr make_manager(const std::string& name, const Params& params) {
     opt.frame_log_exponent = params.frame_log_exponent;
     opt.initial_c = params.initial_c;
     opt.ci_alpha = params.ci_alpha;
+    opt.requester_waits = params.requester_waits;
     return window::make_window_manager(name, opt);
   }
   if (name == "Polka") return std::make_unique<Polka>();

@@ -22,6 +22,10 @@ struct Params {
   double ci_alpha = 0.75;
   /// ATS: serialize while contention intensity exceeds this.
   double ats_ci_threshold = 0.5;
+  /// Requester-waits arbitration for the window family (DESIGN.md §13);
+  /// mirrors RuntimeConfig::arbitration == kWait. Classic managers take the
+  /// mode from their attached WaitHooks instead.
+  bool requester_waits = false;
 };
 
 /// Creates a manager by name. Throws std::invalid_argument for unknown

@@ -59,6 +59,10 @@ void register_matrix_flags(Cli& cli, const std::string& default_benchmarks,
                static_cast<std::int64_t>(-1));
   cli.add_flag("backend", "execution engine: dstm (eager locator) | orec (lazy TL2-style)",
                std::string("dstm"));
+  cli.add_flag("arbitration",
+               "conflict arbitration: abort (losers retry immediately) | wait "
+               "(requester-waits: losers park until the winner's status transition)",
+               std::string("abort"));
   cli.add_flag("visible-reads", "visible (paper) vs invisible (validated) reads", true);
   cli.add_flag("pooling", "recycle TxDesc/Locator/clone blocks through thread pools", true);
   cli.add_flag("snapshot-ext",
@@ -131,6 +135,7 @@ MatrixSpec matrix_from_cli(const Cli& cli) {
   spec.base.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   spec.base.preempt_permille = static_cast<std::int32_t>(cli.get_int("preempt-permille"));
   spec.base.backend = cli.get_string("backend");
+  spec.base.arbitration = cli.get_string("arbitration");
   spec.base.visible_reads = cli.get_bool("visible-reads");
   spec.base.pooling = cli.get_bool("pooling");
   spec.base.snapshot_ext = cli.get_bool("snapshot-ext");

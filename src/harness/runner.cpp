@@ -21,6 +21,8 @@ RunResult run_workload(const std::string& cm_name, cm::Params cm_params, Workloa
   stm::RuntimeConfig rt_config;
   rt_config.seed = run.seed;
   rt_config.backend = stm::parse_backend(run.backend);
+  rt_config.arbitration = stm::parse_arbitration(run.arbitration);
+  cm_params.requester_waits = rt_config.arbitration == stm::ArbitrationMode::kWait;
   rt_config.visible_reads = run.visible_reads;
   rt_config.pooling = run.pooling;
   rt_config.snapshot_ext = run.snapshot_ext;

@@ -42,6 +42,11 @@ struct RunConfig {
   /// TL2-style redo logging). Parsed with stm::parse_backend; the CM layer
   /// is identical on both. See DESIGN.md §12.
   std::string backend = "dstm";
+  /// Conflict arbitration: "abort" (losers retry immediately, the paper's
+  /// baseline) or "wait" (requester-waits: losers park on the winner's
+  /// descriptor until its status transition). Parsed with
+  /// stm::parse_arbitration. See DESIGN.md §13.
+  std::string arbitration = "abort";
   /// Recycle protocol metadata through per-thread pools (see
   /// stm::RuntimeConfig::pooling). Off reproduces the allocator-bound
   /// pre-pooling numbers for overhead comparisons.

@@ -54,6 +54,9 @@ void LivenessManager::scan_once(const std::function<void(unsigned)>& kicker) {
     // Stall: an attempt that has made no schedule-point progress for too
     // long (descheduled thread, long-running user code). Kick it so the
     // objects it holds open become available again; the victim retries.
+    // A parked slot is waiting by design, not stalled: its wait is bounded
+    // by the park slice and it heartbeats on wakeup, so skip it here.
+    if (b.parked.load(std::memory_order_acquire) != 0) continue;
     if (config_.stall_timeout_ns > 0 &&
         now - b.last_progress_ns.load(std::memory_order_relaxed) >= config_.stall_timeout_ns) {
       const std::uint8_t rep = b.reported.fetch_or(kFlagStall, std::memory_order_relaxed);

@@ -112,6 +112,14 @@ class LivenessManager {
     beacons_[slot]->last_progress_ns.store(now, std::memory_order_relaxed);
   }
 
+  /// Marks the slot as parked in requester-waits arbitration (DESIGN.md
+  /// §13): a parked thread is waiting, not stalled, so the watchdog must
+  /// neither flag nor kick it — parks are bounded and the waker's unpark
+  /// edge (or the slice timeout) is the progress signal. Owner-written.
+  void set_parked(unsigned slot, bool parked) noexcept {
+    beacons_[slot]->parked.store(parked ? 1 : 0, std::memory_order_release);
+  }
+
   void note_attempt_end(unsigned slot, bool committed) noexcept {
     Beacon& b = *beacons_[slot];
     b.in_attempt.store(0, std::memory_order_release);
@@ -188,6 +196,7 @@ class LivenessManager {
     std::atomic<std::int64_t> last_progress_ns{0};
     std::atomic<std::uint32_t> consecutive_aborts{0};
     std::atomic<std::uint8_t> in_attempt{0};
+    std::atomic<std::uint8_t> parked{0};    ///< parked-not-stalled (set_parked)
     std::atomic<std::uint8_t> flags{0};     ///< pending, owner collects via take_flags
     std::atomic<std::uint8_t> reported{0};  ///< episode already counted (re-armed on progress)
   };

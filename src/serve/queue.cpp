@@ -62,7 +62,15 @@ BoundedQueue::PushResult BoundedQueue::push_wait(const TxRequest& req) {
     // sleeps through the only wakeup. Audited for PR 7: NOT relaxable.
     push_waiters_.fetch_add(1, std::memory_order_seq_cst);
     std::unique_lock<std::mutex> lk(wait_mutex_);
-    not_full_.wait_for(lk, std::chrono::milliseconds(1));
+    // Re-check closed_ under the mutex: close() stores it before taking
+    // wait_mutex_ to notify, so either it is visible here (skip the wait;
+    // the next try_push returns kClosed) or the notify_all is ordered
+    // after this thread blocks and wakes it. Without this, a close()
+    // landing between the waiter announcement and the wait is a lost
+    // wakeup and the producer sleeps through the shutdown edge.
+    if (!closed_.load(std::memory_order_acquire)) {
+      not_full_.wait_for(lk, std::chrono::milliseconds(1));
+    }
     lk.unlock();
     push_waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -107,7 +115,14 @@ bool BoundedQueue::pop_wait(TxRequest* out, std::int64_t timeout_ns) {
   }
   {
     std::unique_lock<std::mutex> lk(wait_mutex_);
-    not_empty_.wait_for(lk, std::chrono::nanoseconds(timeout_ns));
+    // Re-check closed_ under the mutex (same shape as push_wait): a close()
+    // racing this parking consumer either published closed_ before we got
+    // the mutex — visible here, skip the wait — or notifies after we block.
+    // Without this, the close() edge between the pop_waiters_ announcement
+    // and the wait is lost and the drain stalls for the full timeout.
+    if (!closed_.load(std::memory_order_acquire)) {
+      not_empty_.wait_for(lk, std::chrono::nanoseconds(timeout_ns));
+    }
   }
   pop_waiters_.fetch_sub(1, std::memory_order_relaxed);
   return try_pop(out);

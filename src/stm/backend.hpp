@@ -25,6 +25,17 @@ inline BackendKind parse_backend(const std::string& name) {
   throw std::invalid_argument("unknown backend '" + name + "' (expected dstm|orec)");
 }
 
+inline const char* arbitration_name(ArbitrationMode m) noexcept {
+  return m == ArbitrationMode::kWait ? "wait" : "abort";
+}
+
+inline ArbitrationMode parse_arbitration(const std::string& name) {
+  if (name == "abort") return ArbitrationMode::kAbort;
+  if (name == "wait") return ArbitrationMode::kWait;
+  throw std::invalid_argument("unknown arbitration mode '" + name +
+                              "' (expected abort|wait)");
+}
+
 class Backend {
  public:
   virtual ~Backend() = default;

@@ -34,6 +34,17 @@ enum class ConflictKind : std::uint8_t {
   kReadWrite,   // I want to read; enemy is the active owner
 };
 
+/// How the runtime lets a losing transaction wait out a conflict
+/// (RuntimeConfig::arbitration). kAbort is the historical behavior: every
+/// kRetry resolution spins/yields in the CM or burns an abort. kWait arms
+/// the parking layer (src/stm/park.hpp): losers block futex-style on the
+/// enemy descriptor's status word and the winner's commit/abort path wakes
+/// them, trading CPU burn for a condvar round trip.
+enum class ArbitrationMode : std::uint8_t {
+  kAbort = 0,  // requester-wins/aborts; waits are spin/yield loops
+  kWait = 1,   // requester-waits; losers park at safe points
+};
+
 /// Contention-manager verdict for one conflict.
 enum class Resolution : std::uint8_t {
   kAbortEnemy,  // runtime CASes the enemy's status to Aborted and proceeds

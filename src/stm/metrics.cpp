@@ -33,6 +33,15 @@ std::string MetricsSummary::to_string() const {
                   static_cast<unsigned long long>(orec_lock_waits),
                   static_cast<unsigned long long>(orec_write_backs));
   }
+  if ((parks | unparks | spurious_wakeups) != 0) {
+    const std::size_t used = std::char_traits<char>::length(buf);
+    std::snprintf(buf + used, sizeof(buf) - used,
+                  "  parks=%llu park_ms=%.1f unparks=%llu spurious=%llu",
+                  static_cast<unsigned long long>(parks),
+                  static_cast<double>(park_ns) / 1e6,
+                  static_cast<unsigned long long>(unparks),
+                  static_cast<unsigned long long>(spurious_wakeups));
+  }
   return buf;
 }
 
@@ -48,6 +57,10 @@ MetricsSummary summarize(const ThreadMetrics& totals, std::int64_t elapsed_ns) {
   s.orec_lock_acquires = totals.orec_lock_acquires;
   s.orec_lock_waits = totals.orec_lock_waits;
   s.orec_write_backs = totals.orec_write_backs;
+  s.parks = totals.parks;
+  s.park_ns = totals.park_ns;
+  s.unparks = totals.unparks;
+  s.spurious_wakeups = totals.spurious_wakeups;
   if (elapsed_ns > 0) {
     s.throughput_per_s = static_cast<double>(totals.commits) /
                          (static_cast<double>(elapsed_ns) / 1e9);

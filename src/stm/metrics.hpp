@@ -32,6 +32,17 @@ struct ThreadMetrics {
   std::int64_t response_ns = 0;
   /// Total attempts whose conflict loop waited at least once.
   std::uint64_t waits = 0;
+
+  // Requester-waits arbitration (src/stm/park.hpp; all 0 in abort mode).
+  /// Parks taken (both real futex-style waits and checker kPark points).
+  std::uint64_t parks = 0;
+  /// Wall time spent parked (real mode only — checker parks are virtual).
+  std::int64_t park_ns = 0;
+  /// Waiters this thread's status transitions woke (commit/abort/kill).
+  std::uint64_t unparks = 0;
+  /// Parks that woke with the enemy still active (site collision, timeout
+  /// slice expiry, or a missed edge degrading to the bounded timeout).
+  std::uint64_t spurious_wakeups = 0;
   /// Aborts forced by the deterministic checker's fault injector (a subset
   /// of `aborts`; always 0 outside checker runs).
   std::uint64_t injected_aborts = 0;
@@ -126,6 +137,10 @@ struct ThreadMetrics {
     committed_ns += other.committed_ns;
     response_ns += other.response_ns;
     waits += other.waits;
+    parks += other.parks;
+    park_ns += other.park_ns;
+    unparks += other.unparks;
+    spurious_wakeups += other.spurious_wakeups;
     injected_aborts += other.injected_aborts;
     validations += other.validations;
     validated_reads += other.validated_reads;
@@ -178,6 +193,13 @@ struct MetricsSummary {
   std::uint64_t orec_lock_acquires = 0;
   std::uint64_t orec_lock_waits = 0;
   std::uint64_t orec_write_backs = 0;
+
+  // Requester-waits arbitration totals; zero (and omitted from to_string())
+  // in abort mode.
+  std::uint64_t parks = 0;
+  std::int64_t park_ns = 0;
+  std::uint64_t unparks = 0;
+  std::uint64_t spurious_wakeups = 0;
 
   std::string to_string() const;
 };

@@ -110,7 +110,9 @@ const void* OrecEngine::read_consistent(ThreadCtx& tc, TObjectBase& obj,
       const Resolution res = rt_.arbitrate(tc, *me, *owner, kind);
       rt_.trace_conflict(tc, *owner, kind, res);
       if (res == Resolution::kAbortEnemy) {
-        owner->try_abort();  // loop re-reads; the rollback restores the word
+        // Loop re-reads; the rollback restores the word. The kill is a
+        // status transition, so fire its unpark edge.
+        if (owner->try_abort()) rt_.signal_status_change(&tc, owner);
       } else if (res == Resolution::kAbortSelf) {
         rt_.abort_self(tc);
       } else {
@@ -218,7 +220,7 @@ void OrecEngine::validate_read_set(ThreadCtx& tc) {
       const Resolution res = rt_.arbitrate(tc, *me, *owner, ConflictKind::kReadWrite);
       rt_.trace_conflict(tc, *owner, ConflictKind::kReadWrite, res);
       if (res == Resolution::kAbortEnemy) {
-        owner->try_abort();
+        if (owner->try_abort()) rt_.signal_status_change(&tc, owner);
       } else if (res == Resolution::kAbortSelf) {
         rt_.abort_self(tc);
       } else {
@@ -354,7 +356,9 @@ void OrecEngine::acquire_locks(ThreadCtx& tc) {
       const Resolution res = rt_.arbitrate(tc, *me, *owner, ConflictKind::kWriteWrite);
       rt_.trace_conflict(tc, *owner, ConflictKind::kWriteWrite, res);
       if (res == Resolution::kAbortEnemy) {
-        owner->try_abort();  // its rollback restores the word; loop re-reads
+        // Its rollback restores the word; loop re-reads. Fire the unpark
+        // edge for waiters parked on the killed holder.
+        if (owner->try_abort()) rt_.signal_status_change(&tc, owner);
       } else if (res == Resolution::kAbortSelf) {
         rt_.abort_self(tc);
       } else {
@@ -373,8 +377,11 @@ bool OrecEngine::commit(ThreadCtx& tc) {
     // serializes at its last extension (or begin). The status CAS is still
     // required — a remote kill must not be reported as a commit.
     TxStatus expected = TxStatus::kActive;
-    return me->status.compare_exchange_strong(expected, TxStatus::kCommitted,
-                                              std::memory_order_seq_cst);
+    const bool won = me->status.compare_exchange_strong(expected, TxStatus::kCommitted,
+                                                        std::memory_order_seq_cst);
+    // SEEDED BUG (park-lost-wakeup): the elided edge is the commit one.
+    if (won && !rt_.config_.bugs.park_lost_wakeup) rt_.signal_status_change(&tc, me);
+    return won;
   }
   acquire_locks(tc);
   if (rt_.config_.bugs.orec_skip_validation) [[unlikely]] {
@@ -407,6 +414,10 @@ bool OrecEngine::commit(ThreadCtx& tc) {
     return false;  // remote kill between the last open and here; end() unlocks
   }
   writeback_and_release(tc, wv);
+  // Unpark after write-back, not right at the status CAS: waiters waking
+  // into still-locked orecs would only spin on the releasing owner. The
+  // seeded park-lost-wakeup bug elides exactly this commit-path edge.
+  if (!rt_.config_.bugs.park_lost_wakeup) rt_.signal_status_change(&tc, me);
   return true;
 }
 

@@ -1,0 +1,122 @@
+// Futex-style parking for requester-waits arbitration (DESIGN.md §13).
+//
+// A loser that must wait for an enemy transaction parks on a WaitSite keyed
+// on the enemy's TxDesc; the winner's commit/abort/status-CAS path fires
+// unpark_all for that descriptor. The protocol is the classic epoch-word
+// futex shape (cf. pypy/stmgc contention.c):
+//
+//   waiter:  e = site.epoch (seq_cst)          waker:  status transition
+//            recheck enemy.status != Active            site.epoch++ (seq_cst)
+//            cv.wait_for(pred: epoch != e)             lock; cv.notify_all
+//
+// The seq_cst epoch read *before* the status recheck pairs with the waker's
+// status-store → epoch-increment order: if the waiter misses the status
+// change, the waker's increment happens after the waiter's epoch read, so
+// the predicate flips and the wait returns — no lost wakeup. Every wait is
+// additionally bounded by a timeout slice, so even a missed edge (a crashed
+// waker, or the seeded park-lost-wakeup bug) degrades to a bounded stall,
+// never a hang.
+//
+// Sites are a small hashed array, not per-descriptor state: collisions only
+// cause spurious wakeups (the waiter re-checks its own enemy and re-parks),
+// which the protocol tolerates by construction. waiters_ lets the waker skip
+// the lock + notify entirely on the (overwhelmingly common) nobody-parked
+// path, so abort-mode-equivalent workloads pay one relaxed load per commit.
+//
+// Deadlock freedom: Runtime maintains a parked_on_[] slot → enemy-descriptor
+// table and refuses any park whose enemy chain reaches back to the
+// requester (see Runtime::park_until_inactive). Combined with bounded
+// slices this makes every park finite.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "stm/tx.hpp"
+#include "util/cacheline.hpp"
+
+namespace wstm::stm {
+
+class ParkingLot {
+ public:
+  static constexpr unsigned kSites = 64;
+
+  struct ParkResult {
+    bool waited = false;    ///< a timed wait actually happened
+    bool spurious = false;  ///< woke with the enemy still Active (collision
+                            ///< or timeout slice expiry)
+  };
+
+  /// Parks until the site's epoch moves past the pre-read value, the enemy
+  /// leaves Active, or `max_wait_ns` elapses — whichever is first. Never
+  /// blocks unboundedly. The caller re-examines the conflict afterwards
+  /// regardless of the outcome (spurious-wakeup semantics).
+  ParkResult park(const TxDesc& enemy, std::int64_t max_wait_ns) noexcept {
+    Site& site = *sites_[site_index(&enemy)];
+    // Dekker pairing with unpark_all's waiters fast path: register BEFORE
+    // the status recheck, so either the waker sees waiters > 0 (and bumps
+    // the epoch + notifies) or this recheck sees the new status (and skips
+    // the wait). Rechecking first would open a lost-wakeup window between
+    // the recheck and the registration.
+    site.waiters.fetch_add(1, std::memory_order_seq_cst);
+    const std::uint64_t e = site.epoch.load(std::memory_order_seq_cst);
+    if (enemy.status.load(std::memory_order_acquire) != TxStatus::kActive) {
+      site.waiters.fetch_sub(1, std::memory_order_relaxed);
+      return ParkResult{};  // already finished; nothing to wait for
+    }
+    ParkResult r;
+    r.waited = true;
+    {
+      std::unique_lock lk(site.mu);
+      site.cv.wait_for(lk, std::chrono::nanoseconds(max_wait_ns), [&] {
+        return site.epoch.load(std::memory_order_relaxed) != e;
+      });
+    }
+    site.waiters.fetch_sub(1, std::memory_order_relaxed);
+    r.spurious = enemy.status.load(std::memory_order_acquire) == TxStatus::kActive;
+    return r;
+  }
+
+  /// Status-transition edge for `desc`: wakes every waiter parked on its
+  /// site. Returns the number of waiters present (0 on the fast path, which
+  /// touches only one cache line). Safe from any thread, including the
+  /// watchdog and shutdown drains.
+  unsigned unpark_all(const TxDesc* desc) noexcept {
+    Site& site = *sites_[site_index(desc)];
+    // seq_cst pairs with the waiter's epoch-read → status-recheck order; a
+    // relaxed load here could miss a waiter between its recheck and wait.
+    const auto waiters =
+        static_cast<unsigned>(site.waiters.load(std::memory_order_seq_cst));
+    if (waiters == 0) return 0;
+    site.epoch.fetch_add(1, std::memory_order_seq_cst);
+    {
+      // Empty critical section: orders the notify after any waiter that has
+      // passed the predicate check but not yet blocked inside wait_for.
+      std::lock_guard lk(site.mu);
+    }
+    site.cv.notify_all();
+    return waiters;
+  }
+
+ private:
+  struct Site {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint32_t> waiters{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  static std::size_t site_index(const TxDesc* desc) noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(desc);
+    h ^= h >> 9;  // descriptors are pool-allocated; drop alignment zeros
+    h *= 0x9e3779b97f4a7c15ULL;
+    return (h >> 32) & (kSites - 1);
+  }
+
+  CacheAligned<Site> sites_[kSites];
+};
+
+}  // namespace wstm::stm

@@ -94,6 +94,8 @@ Runtime::Runtime(cm::ManagerPtr manager, Config config)
     backend_ = std::make_unique<DstmBackend>(*this);
   }
   manager_->attach_recorder(config_.recorder);
+  manager_->attach_wait_hooks(&park_waiter_);
+  for (auto& p : parked_on_) p->store(-1, std::memory_order_relaxed);
   if (config_.liveness.enabled) {
     liveness_owned_ = std::make_unique<resilience::LivenessManager>(config_.liveness);
     liveness_ = liveness_owned_.get();
@@ -162,7 +164,9 @@ void Runtime::shutdown() noexcept {
       scratch.pin();
       for (unsigned i = 0; i < kMaxThreads; ++i) {
         if (attempt_active_[i]->load(std::memory_order_acquire) == 0) continue;
-        if (TxDesc* d = current_tx_[i]->load(std::memory_order_acquire)) d->try_abort();
+        if (TxDesc* d = current_tx_[i]->load(std::memory_order_acquire)) {
+          if (d->try_abort()) signal_status_change(nullptr, d);
+        }
       }
       scratch.unpin();
     }
@@ -177,7 +181,9 @@ void Runtime::watchdog_kick(unsigned slot) {
   // A stalled attempt holds objects open; aborting it lets conflicting
   // threads proceed, and the victim unwinds at its next schedule point.
   // try_abort refuses irrevocable holders by itself.
-  if (TxDesc* d = current_tx_[slot]->load(std::memory_order_acquire)) d->try_abort();
+  if (TxDesc* d = current_tx_[slot]->load(std::memory_order_acquire)) {
+    if (d->try_abort()) signal_status_change(nullptr, d);
+  }
   watchdog_ebr_.unpin();
 }
 
@@ -484,6 +490,8 @@ bool Runtime::dstm_commit(ThreadCtx& tc) {
     // old version, so "committing" anyway loses the update.
     desc->status.store(TxStatus::kCommitted, std::memory_order_seq_cst);
     pending_guard.fire();
+    // SEEDED BUG (park-lost-wakeup): drop the commit-path unpark edge.
+    if (!config_.bugs.park_lost_wakeup) signal_status_change(&tc, desc);
     return true;
   }
   TxStatus expected = TxStatus::kActive;
@@ -492,6 +500,15 @@ bool Runtime::dstm_commit(ThreadCtx& tc) {
   // Retract promptly (a lost CAS retracts too — the spurious sequence bump
   // at worst costs somebody one establishment retry).
   pending_guard.fire();
+  // Commit is a status transition: waiters parked on this descriptor must
+  // wake. The seeded park-lost-wakeup bug elides exactly this edge (the
+  // abort-path edges stay), turning a missed commit notification into
+  // bounded timeout stalls in real mode and a detected violation under the
+  // checker. A lost CAS means a remote killer owns the transition — and the
+  // unpark — instead.
+  if (committed && !config_.bugs.park_lost_wakeup) [[likely]] {
+    signal_status_change(&tc, desc);
+  }
   // false: killed by an enemy between the last open and the commit point.
   return committed;
 }
@@ -506,6 +523,7 @@ void Runtime::finish_attempt_abort(ThreadCtx& tc) {
   // on the dead attempt indefinitely.
   demote_irrevocable(tc, desc);
   desc->try_abort();  // may already be aborted (remote kill or restart())
+  signal_status_change(&tc, desc);
   cleanup_attempt(tc, /*committed=*/false);
 }
 
@@ -650,6 +668,7 @@ void Runtime::abort_self(ThreadCtx& tc) {
   // Demote first so try_abort goes through and the token frees up.
   demote_irrevocable(tc, desc);
   desc->try_abort();
+  signal_status_change(&tc, desc);
   throw TxAbort{};
 }
 
@@ -678,10 +697,111 @@ Resolution Runtime::arbitrate(ThreadCtx& tc, TxDesc& me, TxDesc& enemy, Conflict
     }
   }
   if (enemy.irrevocable.load(std::memory_order_acquire)) {
-    if (config_.checker == nullptr) std::this_thread::yield();
+    // Waiting out the serial-token holder. In wait mode the holder's commit
+    // fires this descriptor's unpark edge, so park instead of burning the
+    // scheduler; the 100µs slice only bounds a missed edge.
+    if (!park_until_inactive(tc, me, enemy, 100'000)) yield_safe();
     return Resolution::kRetry;  // the caller's loop re-examines the enemy
   }
   return manager_->resolve_with_boost(tc, me, enemy, kind);
+}
+
+bool Runtime::park_until_inactive(ThreadCtx& tc, const TxDesc& me, const TxDesc& enemy,
+                                  std::int64_t max_wait_ns) noexcept {
+  if (config_.arbitration != ArbitrationMode::kWait) [[likely]] return false;
+  // Serial-token holders never park: the token's contract is that the
+  // attempt runs to completion, and everyone else waits for *it*.
+  if (tc.attempt_irrevocable_) return false;
+  if (max_wait_ns <= 0 || &me == &enemy) return false;
+  const unsigned enemy_slot = enemy.thread_slot;
+  if (enemy_slot >= kMaxThreads) return false;
+  // Deadlock freedom by refusal: if the enemy's park chain already reaches
+  // back to this slot, parking would close a waiter cycle — fall back to
+  // the caller's abort/yield path instead. The walk follows thread slots
+  // only (never descriptor pointers, whose pool storage may be recycled);
+  // slot reuse can at worst refuse a safe park, never admit a cycle.
+  if (park_would_cycle(tc.slot_, enemy_slot)) return false;
+
+  if (config_.checker != nullptr) {
+    // Checker mode: the park is a schedule point. The executor marks this
+    // virtual thread blocked at kPark arrival and keeps it ineligible until
+    // the enemy's kUnpark edge (or a deadlock-oracle force-wake) clears it.
+    // Spurious-wakeup semantics as in real mode: the caller re-checks.
+    if (enemy.status.load(std::memory_order_acquire) != TxStatus::kActive) return true;
+    parked_on_[tc.slot_]->store(static_cast<int>(enemy_slot), std::memory_order_seq_cst);
+    check::ParkEdge edge{&me, &enemy};
+    sched_point(check::Point::kPark, &edge);
+    parked_on_[tc.slot_]->store(-1, std::memory_order_release);
+    tc.metrics_.parks++;
+    return true;
+  }
+
+  // Bound the slice by the liveness deadline: a parked transaction must
+  // still reach its TxTimeoutError, so never sleep past the attempt's
+  // remaining budget.
+  std::int64_t slice = max_wait_ns;
+  std::int64_t t0 = 0;
+  if (liveness_ != nullptr) {
+    const std::int64_t deadline_ns = liveness_->config().deadline_ns;
+    if (deadline_ns > 0) {
+      t0 = now_ns();
+      const std::int64_t remaining = me.first_begin_ns + deadline_ns - t0;
+      if (remaining <= 0) return false;  // arbitrate()'s deadline check fires
+      slice = std::min(slice, remaining);
+    }
+  }
+  if (t0 == 0) t0 = now_ns();
+  // seq_cst publish before the wait: two threads parking on each other both
+  // publish before they walk (inside park_would_cycle on the next attempt)
+  // — at least one of any forming cycle observes the other and refuses.
+  parked_on_[tc.slot_]->store(static_cast<int>(enemy_slot), std::memory_order_seq_cst);
+  if (liveness_ != nullptr) liveness_->set_parked(tc.slot_, true);
+  const ParkingLot::ParkResult r = parking_lot_.park(enemy, slice);
+  const std::int64_t woke = now_ns();
+  if (liveness_ != nullptr) {
+    liveness_->set_parked(tc.slot_, false);
+    liveness_->heartbeat(tc.slot_, woke);  // waking *is* progress
+  }
+  parked_on_[tc.slot_]->store(-1, std::memory_order_release);
+  tc.metrics_.parks++;
+  tc.metrics_.park_ns += static_cast<std::uint64_t>(woke - t0);
+  if (r.spurious) tc.metrics_.spurious_wakeups++;
+  if (trace::Recorder* rec = config_.recorder) {
+    rec->record(tc.slot_, trace::EventKind::kPark, me.serial, r.spurious ? 1 : 0,
+                enemy_slot, static_cast<std::uint64_t>(woke - t0), enemy.serial);
+  }
+  return true;
+}
+
+void Runtime::signal_status_change(ThreadCtx* tc, const TxDesc* desc) noexcept {
+  if (config_.arbitration != ArbitrationMode::kWait) [[likely]] return;
+  if (desc == nullptr) return;
+  if (config_.checker != nullptr) {
+    // The unpark edge is a schedule point: the executor wakes every virtual
+    // thread blocked on `desc` at arrival. Watchdog/shutdown callers pass a
+    // null tc and never run under the checker, so sched_point's thread-local
+    // vid is always valid here.
+    sched_point(check::Point::kUnpark, desc);
+    return;
+  }
+  const unsigned woken = parking_lot_.unpark_all(desc);
+  if (woken == 0 || tc == nullptr) return;
+  tc->metrics_.unparks += woken;
+  if (trace::Recorder* rec = config_.recorder) {
+    rec->record(tc->slot_, trace::EventKind::kUnpark, desc->serial, 0, desc->thread_slot,
+                woken);
+  }
+}
+
+bool Runtime::park_would_cycle(unsigned waiter_slot, unsigned enemy_slot) const noexcept {
+  unsigned cur = enemy_slot;
+  for (unsigned hops = 0; hops < kMaxThreads; ++hops) {
+    if (cur == waiter_slot) return true;
+    const int next = parked_on_[cur]->load(std::memory_order_seq_cst);
+    if (next < 0 || static_cast<unsigned>(next) >= kMaxThreads) return false;
+    cur = static_cast<unsigned>(next);
+  }
+  return true;  // chain longer than the thread count: refuse conservatively
 }
 
 void Runtime::chaos_at_open(ThreadCtx& tc) {
@@ -767,7 +887,9 @@ const void* Runtime::dstm_open_read(ThreadCtx& tc, TObjectBase& obj) {
     const Resolution res = arbitrate(tc, *me, *owner, ConflictKind::kReadWrite);
     trace_conflict(tc, *owner, ConflictKind::kReadWrite, res);
     if (res == Resolution::kAbortEnemy) {
-      owner->try_abort();  // loop re-reads; even if it committed we proceed
+      // Loop re-reads; even if the enemy committed we proceed. The kill is
+      // a status transition, so fire its unpark edge.
+      if (owner->try_abort()) signal_status_change(&tc, owner);
     } else if (res == Resolution::kAbortSelf) {
       abort_self(tc);
     } else {
@@ -806,7 +928,7 @@ const void* Runtime::dstm_open_read_invisible(ThreadCtx& tc, TObjectBase& obj) {
         const Resolution res = arbitrate(tc, *me, *owner, ConflictKind::kReadWrite);
         trace_conflict(tc, *owner, ConflictKind::kReadWrite, res);
         if (res == Resolution::kAbortEnemy) {
-          owner->try_abort();
+          if (owner->try_abort()) signal_status_change(&tc, owner);
         } else if (res == Resolution::kAbortSelf) {
           abort_self(tc);
         } else {
@@ -1144,7 +1266,7 @@ void* Runtime::dstm_open_write(ThreadCtx& tc, TObjectBase& obj) {
         const Resolution res = arbitrate(tc, *me, *owner, ConflictKind::kWriteWrite);
         trace_conflict(tc, *owner, ConflictKind::kWriteWrite, res);
         if (res == Resolution::kAbortEnemy) {
-          owner->try_abort();
+          if (owner->try_abort()) signal_status_change(&tc, owner);
         } else if (res == Resolution::kAbortSelf) {
           abort_self(tc);
         } else {
@@ -1227,7 +1349,7 @@ void Runtime::resolve_readers(ThreadCtx& tc, TObjectBase& obj) {
         const Resolution res = arbitrate(tc, *me, *enemy, ConflictKind::kWriteRead);
         trace_conflict(tc, *enemy, ConflictKind::kWriteRead, res);
         if (res == Resolution::kAbortEnemy) {
-          enemy->try_abort();
+          if (enemy->try_abort()) signal_status_change(&tc, enemy);
           break;
         }
         if (res == Resolution::kAbortSelf) abort_self(tc);

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "check/hooks.hpp"
 #include "cm/manager.hpp"
 #include "stm/backend.hpp"
+#include "stm/park.hpp"
 #include "ebr/ebr.hpp"
 #include "resilience/chaos.hpp"
 #include "resilience/errors.hpp"
@@ -264,6 +266,16 @@ struct RuntimeConfig {
   /// apply identically to both.
   BackendKind backend = BackendKind::kDstm;
 
+  /// Conflict-arbitration mode (DESIGN.md §13). kAbort: the historical
+  /// requester-wins behavior — kRetry resolutions spin/yield inside the CM.
+  /// kWait: requester-waits — losing transactions park futex-style on the
+  /// enemy descriptor (src/stm/park.hpp) and the enemy's commit/abort path
+  /// wakes them, so contended cores sleep instead of burning. Parking is
+  /// bounded by the liveness deadline and visible to the watchdog; serial-
+  /// token holders never park. Under the checker, parks become kPark/kUnpark
+  /// schedule points with a deadlock-freedom oracle.
+  ArbitrationMode arbitration = ArbitrationMode::kAbort;
+
   /// log2 of the orec-table size (orec backend only). Every TObject hashes
   /// to one of 2^bits versioned write-locks; smaller tables raise false
   /// sharing of locks, which the engine must (and tests do) tolerate.
@@ -353,6 +365,12 @@ struct RuntimeConfig {
     /// may already be stale (the classic TL2 validation invariant, broken
     /// on purpose; serializability bug).
     bool orec_skip_validation = false;
+    /// Requester-waits arbitration: skip the unpark edge on COMMIT paths
+    /// (both backends), keeping only the abort-path edges — the classic
+    /// lost-wakeup bug. In real mode every park is slice-bounded, so the
+    /// effect degrades to timeout stalls; under the checker the parked
+    /// thread stays blocked and the deadlock-freedom oracle fires.
+    bool park_lost_wakeup = false;
   };
   DebugFaults bugs;
 
@@ -592,6 +610,35 @@ class Runtime {
   /// escalation boosts override the manager (resolve_with_boost).
   Resolution arbitrate(ThreadCtx& tc, TxDesc& me, TxDesc& enemy, ConflictKind kind);
 
+  // ---- requester-waits arbitration (DESIGN.md §13) ------------------------
+
+  /// cm::WaitHooks body: parks the calling thread on `enemy` until its
+  /// status leaves Active, an unpark edge fires, or the slice expires.
+  /// Returns false without waiting when parking is unavailable (abort mode,
+  /// irrevocable self, exhausted deadline, would-be waiter cycle). Real
+  /// mode parks on the ParkingLot with the beacon marked parked; checker
+  /// mode blocks at a kPark schedule point instead.
+  bool park_until_inactive(ThreadCtx& tc, const TxDesc& me, const TxDesc& enemy,
+                           std::int64_t max_wait_ns) noexcept;
+
+  /// cm::WaitHooks body: yields only when no checker is installed.
+  void yield_safe() noexcept {
+    if (config_.checker == nullptr) std::this_thread::yield();
+  }
+
+  /// Unpark edge: called right after any status transition of `desc`
+  /// (commit CAS, self-abort, enemy kill, watchdog kick, shutdown drain).
+  /// No-op in abort mode; fires a kUnpark schedule point under the checker,
+  /// otherwise wakes the descriptor's WaitSite. `tc` is the transitioning
+  /// thread's context when available (metrics/trace), null from the
+  /// watchdog and shutdown paths.
+  void signal_status_change(ThreadCtx* tc, const TxDesc* desc) noexcept;
+
+  /// True when parking `waiter_slot` on `enemy_slot` would close a cycle in
+  /// the thread-level wait-for graph (slot-indexed, so no descriptor is
+  /// ever dereferenced; slot reuse can only cause a spurious refusal).
+  bool park_would_cycle(unsigned waiter_slot, unsigned enemy_slot) const noexcept;
+
   /// Escalation-ladder policy, run at the top of begin_attempt: deadline
   /// check (throws resilience::TxTimeoutError), watchdog flag collection,
   /// backoff sleep, serial-fallback token acquisition. Returns the level
@@ -673,6 +720,32 @@ class Runtime {
   // stores stopping_ seq_cst then scans the flags).
   std::atomic<bool> stopping_{false};
   std::array<CacheAligned<std::atomic<std::uint8_t>>, kMaxThreads> attempt_active_{};
+
+  // ---- requester-waits state (DESIGN.md §13; inert in abort mode) ---------
+
+  /// Adapter handing the Runtime's wait verb to the CM seam (attached in
+  /// the ctor next to attach_recorder).
+  class ParkWaiter final : public cm::WaitHooks {
+   public:
+    explicit ParkWaiter(Runtime* rt) noexcept : rt_(rt) {}
+    bool park_until_inactive(ThreadCtx& self, const TxDesc& tx, const TxDesc& enemy,
+                             std::int64_t max_wait_ns) noexcept override {
+      return rt_->park_until_inactive(self, tx, enemy, max_wait_ns);
+    }
+    void yield_safe() noexcept override { rt_->yield_safe(); }
+
+   private:
+    Runtime* rt_;
+  };
+  ParkWaiter park_waiter_{this};
+
+  /// Hashed WaitSites the losers block on; unpark edges fan out from here.
+  ParkingLot parking_lot_;
+  /// Thread-level wait-for graph: slot a parked thread is waiting on, -1
+  /// when not parked. Written by the parking thread around its park, read
+  /// by park_would_cycle. Slot-indexed on purpose — the cycle walk never
+  /// dereferences a descriptor.
+  std::array<CacheAligned<std::atomic<int>>, kMaxThreads> parked_on_{};
 };
 
 inline const void* Tx::open_read(TObjectBase& obj) { return rt_->open_read(*tc_, obj); }

@@ -78,9 +78,17 @@ enum class EventKind : std::uint8_t {
                     // clock was raised to cover. Absent in eager mode, where
                     // every write-commit bumps the line and recording each
                     // would double trace volume for no attribution value.
+
+  // Requester-waits arbitration (src/stm/park.hpp; DESIGN.md §13), recorded
+  // by stm::Runtime. Absent in abort mode.
+  kPark,            // real futex-style park: enemy/a1 = enemy slot/serial,
+                    // a0 = parked ns; detail bit0 = 1 when the wakeup was
+                    // spurious (enemy still active afterwards)
+  kUnpark,          // status transition woke waiters: enemy = the slot whose
+                    // descriptor the waiters were parked on, a0 = waiter count
 };
 
-inline constexpr std::uint8_t kNumEventKinds = 20;
+inline constexpr std::uint8_t kNumEventKinds = 22;
 
 const char* kind_name(EventKind kind) noexcept;
 

@@ -96,6 +96,12 @@ CheckResult ScheduleChecker::check(std::vector<Event> events) {
         }
         break;
 
+      case EventKind::kPark:
+        if (!st.open || st.serial != e.serial) {
+          if (st.saw_attempt) report.violation(e, "park outside an open attempt");
+        }
+        break;
+
       case EventKind::kResolve: {
         result.resolves_checked++;
         if (st.saw_attempt && (!st.open || st.serial != e.serial)) {
@@ -109,7 +115,12 @@ CheckResult ScheduleChecker::check(std::vector<Event> events) {
                       "mine=(pi1=%u,pi2=%u,slot=%u) enemy=(pi1=%u,pi2=%u,slot=%u)", p.my_pc,
                       p.my_p2, e.thread, p.en_pc, p.en_p2, e.enemy);
         if (res == stm::Resolution::kRetry) {
-          report.violation(e, "window decisions never wait", extra);
+          // Requester-waits mode parks a low-priority loser against a
+          // high-priority winner instead of aborting; any other wait —
+          // in particular from a winning position — is still a violation.
+          if (!(p.my_pc > p.en_pc)) {
+            report.violation(e, "window decision waited from a winning position", extra);
+          }
         } else if (won != (res == stm::Resolution::kAbortEnemy)) {
           report.violation(e,
                            p.my_pc > p.en_pc && res == stm::Resolution::kAbortEnemy

@@ -141,6 +141,20 @@ stm::Resolution WindowCM::resolve(stm::ThreadCtx& self, stm::TxDesc& tx, stm::Tx
   stm::Resolution res;
   if (my_pc != en_pc) {
     res = my_pc < en_pc ? stm::Resolution::kAbortEnemy : stm::Resolution::kAbortSelf;
+    if (res == stm::Resolution::kAbortSelf && options_.requester_waits &&
+        waiter_ != nullptr) {
+      // Low priority vs high: wait for our frame instead of burning the
+      // abort. Park at most one frame length Φ — the winner's commit fires
+      // the unpark edge, and refresh_priority on the retry path flips us
+      // high once F_ij has begun. Refused parks (cycle, abort mode,
+      // irrevocable self) fall back to the historical abort.
+      const std::int64_t phi = frame_length_ns(
+          options_.threads, st.n != 0 ? st.n : options_.window_n, options_.frame_factor,
+          options_.frame_log_exponent, tau_ns_.load(std::memory_order_relaxed));
+      if (waiter_->park_until_inactive(self, tx, enemy, phi)) {
+        res = stm::Resolution::kRetry;
+      }
+    }
     if (recorder_ != nullptr) {
       my_p2 = tx.rand_prio.load(std::memory_order_acquire);
       en_p2 = enemy.rand_prio.load(std::memory_order_acquire);
@@ -218,10 +232,16 @@ void WindowCM::on_abort(stm::ThreadCtx& self, stm::TxDesc& tx) {
   st.ci.on_attempt_end(true);
   // A low-priority loser will conflict with the same high-priority winner
   // again immediately; yield once so the winner can use the core. This is
-  // a single-scheduler-quantum courtesy, not a backoff policy.
+  // a single-scheduler-quantum courtesy, not a backoff policy. yield_safe
+  // keeps it a no-op under the deterministic checker, whose serialized
+  // executor owns all interleaving.
   if (tx.prio_class.load(std::memory_order_acquire) == 1) {
     record_backoff(self, tx, 0, 1);
-    std::this_thread::yield();
+    if (waiter_ != nullptr) {
+      waiter_->yield_safe();
+    } else {
+      std::this_thread::yield();
+    }
   }
 }
 

@@ -61,6 +61,15 @@ struct WindowOptions {
 
   /// τ estimate before the first commit is measured.
   std::int64_t tau_init_ns = 20'000;
+
+  /// Requester-waits arbitration (DESIGN.md §13): a low-priority loser
+  /// against a high-priority winner parks for up to one frame length
+  /// instead of burning the abort — the winner's commit (which also drives
+  /// the frame controller's complete_tx/advance) is the unpark edge, and by
+  /// wakeup the loser's own frame has typically begun. Equal-class losses
+  /// (π2/slot ties) still abort: RandomizedRounds' symmetry-breaking
+  /// depends on them.
+  bool requester_waits = false;
 };
 
 class WindowCM final : public cm::ContentionManager {

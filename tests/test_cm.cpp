@@ -2,12 +2,15 @@
 // descriptors in known states and check each manager's verdict.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 
 #include "cm/classic.hpp"
 #include "cm/schedulers.hpp"
 #include "cm/registry.hpp"
 #include "stm/runtime.hpp"
+#include "trace/recorder.hpp"
+#include "util/timing.hpp"
 
 namespace wstm::cm {
 namespace {
@@ -152,6 +155,59 @@ TEST_F(CmTest, PolkaKarmaAccruesPerOpenAndResetsOnCommit) {
   init_desc(fresh, tc_->slot(), 30);
   cm.on_begin(*tc_, fresh, /*is_retry=*/false);
   EXPECT_EQ(fresh.karma.load(), 0u);
+}
+
+TEST_F(CmTest, PolkaClampsBackoffTraceWhenClockRewinds) {
+  // Regression: Polka's kBackoff event computed `now_ns() - wait_begin` and
+  // converted straight to unsigned. Under the deterministic checker the
+  // virtual clock can move backwards across a park (the executor advances
+  // it per decision, and a replayed prefix restarts it), so a negative wait
+  // truncated to ~2^64 ns and poisoned every backoff statistic downstream.
+  // Drive resolve() with a recorder attached and a wait hook that rewinds
+  // the virtual clock mid-wait; the recorded wait must clamp to 0.
+  std::atomic<std::int64_t> vclock{1'000'000};
+  set_virtual_clock(&vclock);
+
+  trace::Recorder::Options opts;
+  opts.threads = 2;
+  opts.capacity_per_thread = 64;
+  trace::Recorder rec(opts);
+
+  struct RewindingWaiter : WaitHooks {
+    std::atomic<std::int64_t>* clock = nullptr;
+    stm::TxDesc* enemy_to_finish = nullptr;
+    bool park_until_inactive(stm::ThreadCtx&, const stm::TxDesc&, const stm::TxDesc&,
+                             std::int64_t) noexcept override {
+      clock->store(0, std::memory_order_relaxed);  // rewind past wait_begin
+      enemy_to_finish->status.store(TxStatus::kCommitted);
+      return true;
+    }
+    void yield_safe() noexcept override {}
+  };
+
+  Polka cm;
+  TxDesc me, enemy;
+  init_desc(me, 0, 10);
+  init_desc(enemy, 1, 20);
+  me.karma.store(0);
+  enemy.karma.store(1);  // one wait slice before the kill threshold
+
+  RewindingWaiter waiter;
+  waiter.clock = &vclock;
+  waiter.enemy_to_finish = &enemy;
+  cm.attach_recorder(&rec);
+  cm.attach_wait_hooks(&waiter);
+  EXPECT_EQ(cm.resolve(*tc_, me, enemy, ConflictKind::kWriteWrite), Resolution::kRetry);
+  set_virtual_clock(nullptr);
+
+  bool found = false;
+  for (const trace::Event& e : rec.drain_sorted()) {
+    if (e.kind != trace::EventKind::kBackoff) continue;
+    found = true;
+    EXPECT_EQ(e.a0, 0u) << "negative wait must clamp to 0, not wrap to ~2^64";
+    EXPECT_EQ(e.a1, 1u);  // one slice waited
+  }
+  EXPECT_TRUE(found) << "the wait was never traced";
 }
 
 TEST_F(CmTest, KarmaWaitCountsTowardPriority) {

@@ -111,6 +111,52 @@ TEST(ServeQueue, CloseWakesWaitersAndDrainsRemainder) {
   EXPECT_EQ(q.push_wait(req_with_key(9)), BoundedQueue::PushResult::kClosed);
 }
 
+TEST(ServeQueue, CloseRacingParkedConsumerReturnsPromptly) {
+  // Regression for a lost shutdown wakeup: pop_wait checked closed_ only
+  // *before* announcing itself in pop_waiters_, so a close() landing between
+  // the announcement and the condition-variable wait delivered its
+  // notify_all to nobody and the consumer slept out its full timeout. Same
+  // window existed in push_wait for a producer blocked on a full queue. The
+  // fix re-checks closed_ under wait_mutex_ (close() stores the flag before
+  // taking the mutex to notify, so the mutex-held re-check cannot miss it).
+  // Hammer the window: with the bug, iterations that lose the race cost the
+  // full 300 ms timeout each and blow the elapsed bound; fixed, every close
+  // returns the waiters near-instantly. TSan covers the ordering claim.
+  constexpr int kIters = 60;
+  constexpr std::int64_t kPopTimeoutNs = 300'000'000;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int iter = 0; iter < kIters; ++iter) {
+    BoundedQueue q(2);
+    // Full queue so the producer side parks too.
+    ASSERT_EQ(q.try_push(req_with_key(1)), BoundedQueue::PushResult::kOk);
+    ASSERT_EQ(q.try_push(req_with_key(2)), BoundedQueue::PushResult::kOk);
+    std::atomic<int> ready{0};
+    std::thread producer([&] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      // kOk when the consumer freed a slot first, kClosed when close() won
+      // the race — either way it must return, never sleep out the shutdown.
+      EXPECT_NE(q.push_wait(req_with_key(3)), BoundedQueue::PushResult::kFull);
+    });
+    std::thread consumer([&] {
+      TxRequest out;
+      // Drain the two items, then park on the empty queue until close().
+      while (q.pop_wait(&out, kPopTimeoutNs)) {
+      }
+      ready.fetch_add(1, std::memory_order_acq_rel);
+    });
+    while (ready.load(std::memory_order_acquire) < 1) std::this_thread::yield();
+    q.close();  // races the consumer's park and the producer's full-queue park
+    producer.join();
+    consumer.join();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  // Fixed: the whole loop is thread churn, far under one second. Buggy: a
+  // handful of lost wakeups alone exceed this bound.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            10LL * kIters)
+      << "close() left a parked waiter sleeping out its timeout";
+}
+
 TEST(ServeQueue, MpmcStressKeepsEveryItemExactlyOnce) {
   constexpr unsigned kProducers = 4;
   constexpr unsigned kConsumers = 4;

@@ -48,6 +48,20 @@ Modes:
   oversubscribed host the ratios measure the OS scheduler, not the
   admission policy, so they are reported informationally instead.
 
+* --mode arbitration (BENCH_arbitration.json, from bench/fig_arbitration
+  --json): the abort-vs-wait arbitration sweep. Always gated, per row:
+  validation passed, attempt conservation, commits > 0, and the mode split
+  is sane (every (benchmark, M) cell has BOTH an abort and a wait row;
+  wait rows on these contended cells recorded parks, abort rows recorded
+  none — parking is strictly opt-in). The performance clauses — at every
+  M >= 16 cell, wait mode cuts involuntary context switches per commit to
+  at most --max-wait-nivcsw-ratio x abort mode's AND cuts CPU time per
+  commit to at most --max-wait-cpu-ratio x abort mode's, while sustaining
+  at least --min-wait-attempt-ratio x abort mode's attempts/s — are
+  additionally gated only when context.host_cpus >= 16; an oversubscribed
+  host preempts everything constantly, drowning exactly the
+  voluntary-vs-involuntary switch signal the clause measures.
+
 Usage: check_bench.py BENCH_micro.json [--max-allocs-per-attempt 0.5]
        check_bench.py BENCH_readval.json --mode readval \
            [--max-validations-per-read 1.05]
@@ -57,6 +71,9 @@ Usage: check_bench.py BENCH_micro.json [--max-allocs-per-attempt 0.5]
            [--max-bump-ratio 0.2] [--min-deferred-throughput-ratio 0.9]
        check_bench.py BENCH_backend.json --mode backend \
            [--min-orec-attempt-ratio 1.5]
+       check_bench.py BENCH_arbitration.json --mode arbitration \
+           [--max-wait-nivcsw-ratio 0.9] [--max-wait-cpu-ratio 0.95] \
+           [--min-wait-attempt-ratio 0.95]
 """
 
 import argparse
@@ -442,12 +459,143 @@ def gate_backend(report, min_orec_attempt_ratio: float) -> int:
     return 1 if failed else 0
 
 
+def load_arbitration_report(json_path: str):
+    """BENCH_arbitration.json is fig_arbitration's own format:
+    {"context": {...}, "arbitration": [rows]}."""
+    try:
+        with open(json_path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: {json_path}: cannot load: {e}", file=sys.stderr)
+        return None
+    if not isinstance(report, dict) or not isinstance(report.get("arbitration"), list):
+        print(
+            f"check_bench: {json_path}: no 'arbitration' array; expected "
+            "fig_arbitration --json output",
+            file=sys.stderr,
+        )
+        return None
+    return report
+
+
+def gate_arbitration(
+    report,
+    max_wait_nivcsw_ratio: float,
+    max_wait_cpu_ratio: float,
+    min_wait_attempt_ratio: float,
+) -> int:
+    rows = report["arbitration"]
+    if not rows:
+        print("check_bench: arbitration report has no rows", file=sys.stderr)
+        return 1
+    context = report.get("context", {})
+    host_cpus = context.get("host_cpus", 0)
+    failed = False
+
+    # Structural gates, always enforced.
+    cells = {}
+    for r in rows:
+        name = (
+            f"{r.get('benchmark', '?')}/M={r.get('threads', '?')}/"
+            f"{r.get('mode', '?')}"
+        )
+        if not r.get("valid", False):
+            print(f"check_bench: {name}: workload validation FAILED", file=sys.stderr)
+            failed = True
+        attempts = r.get("attempts", -1)
+        accounted = r.get("commits", 0) + r.get("aborts", 0)
+        if attempts != accounted:
+            print(
+                f"check_bench: {name}: attempt conservation FAILED "
+                f"(attempts={attempts} commits+aborts={accounted})",
+                file=sys.stderr,
+            )
+            failed = True
+        elif r.get("commits", 0) <= 0:
+            print(f"check_bench: {name}: zero commits", file=sys.stderr)
+            failed = True
+        else:
+            print(f"check_bench: {name}: conserved {attempts} attempts, valid ok")
+        # Parking is strictly opt-in: abort rows must never park; wait rows
+        # on these contended cells must actually exercise the ParkingLot
+        # (a conflict-heavy run that never parks means the wait verb is
+        # not wired through the managers).
+        parks = r.get("parks", 0)
+        if r.get("mode") == "abort" and (parks != 0 or r.get("unparks", 0) != 0):
+            print(
+                f"check_bench: {name}: abort row recorded parks/unparks "
+                "(parking must be opt-in)",
+                file=sys.stderr,
+            )
+            failed = True
+        if r.get("mode") == "wait" and r.get("aborts", 0) > 0 and parks == 0:
+            print(
+                f"check_bench: {name}: contended wait row never parked "
+                "(wait verb not reaching the managers?)",
+                file=sys.stderr,
+            )
+            failed = True
+        cells.setdefault((r.get("benchmark"), r.get("threads")), set()).add(
+            r.get("mode")
+        )
+    for (benchmark, threads), modes in sorted(cells.items()):
+        if modes != {"abort", "wait"}:
+            print(
+                f"check_bench: {benchmark}/M={threads}: cell is missing a mode "
+                f"(have {sorted(modes)})",
+                file=sys.stderr,
+            )
+            failed = True
+
+    # Performance clauses: parking must cut the costs it exists to cut —
+    # involuntary preemptions of spinning losers and the CPU they burn —
+    # without giving back offered work. Only meaningful where the M >= 16
+    # workers actually run concurrently.
+    enforce = isinstance(host_cpus, int) and host_cpus >= 16
+    by_key = {(r.get("benchmark"), r.get("threads"), r.get("mode")): r for r in rows}
+    compared = False
+    for (benchmark, threads), modes in sorted(cells.items()):
+        if not isinstance(threads, int) or threads < 16:
+            continue
+        abort_row = by_key.get((benchmark, threads, "abort"))
+        wait_row = by_key.get((benchmark, threads, "wait"))
+        if abort_row is None or wait_row is None:
+            continue
+        compared = True
+        label = f"{benchmark}/M={threads} wait vs abort"
+        checks = (
+            ("nivcsw/commit", "nivcsw_per_commit", max_wait_nivcsw_ratio, "<="),
+            ("cpu/commit", "cpu_us_per_commit", max_wait_cpu_ratio, "<="),
+            ("attempts/s", "attempts_per_s", min_wait_attempt_ratio, ">="),
+        )
+        for what, key, limit, op in checks:
+            base = abort_row.get(key, 0)
+            ratio = wait_row.get(key, 0) / base if base > 0 else float("inf")
+            ok = ratio <= limit if op == "<=" else ratio >= limit
+            verdict = "ok" if ok else ("FAIL" if enforce else "miss (not gated)")
+            print(
+                f"check_bench: {label}: {what} x{ratio:.3f} "
+                f"(need {op} {limit}) {verdict}"
+            )
+            if not ok and enforce:
+                failed = True
+    if not compared:
+        print("check_bench: no M >= 16 cell to compare", file=sys.stderr)
+        failed = True
+    if not enforce:
+        print(
+            f"check_bench: arbitration performance clauses informational only "
+            f"(host_cpus={host_cpus} < 16)"
+        )
+    return 1 if failed else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path")
     parser.add_argument(
         "--mode",
-        choices=("alloc", "readval", "serve", "scaling", "backend"),
+        choices=("alloc", "readval", "serve", "scaling", "backend", "arbitration"),
         default="alloc",
     )
     parser.add_argument("--max-allocs-per-attempt", type=float, default=0.5)
@@ -457,7 +605,21 @@ def main() -> int:
     parser.add_argument("--max-bump-ratio", type=float, default=0.2)
     parser.add_argument("--min-deferred-throughput-ratio", type=float, default=0.9)
     parser.add_argument("--min-orec-attempt-ratio", type=float, default=1.5)
+    parser.add_argument("--max-wait-nivcsw-ratio", type=float, default=0.9)
+    parser.add_argument("--max-wait-cpu-ratio", type=float, default=0.95)
+    parser.add_argument("--min-wait-attempt-ratio", type=float, default=0.95)
     args = parser.parse_args()
+
+    if args.mode == "arbitration":
+        report = load_arbitration_report(args.json_path)
+        if report is None:
+            return 1
+        return gate_arbitration(
+            report,
+            args.max_wait_nivcsw_ratio,
+            args.max_wait_cpu_ratio,
+            args.min_wait_attempt_ratio,
+        )
 
     if args.mode == "backend":
         report = load_backend_report(args.json_path)

@@ -58,6 +58,8 @@ int main(int argc, char** argv) {
   cli.add_flag("ms", "measured milliseconds per cell", std::int64_t{250});
   cli.add_flag("seed", "base RNG seed", std::int64_t{42});
   cli.add_flag("backend", "execution engine: dstm | orec", std::string("dstm"));
+  cli.add_flag("arbitration", "conflict arbitration: abort | wait (requester-waits parking)",
+               std::string("abort"));
   cli.add_flag("intensity", "chaos fault-probability scale factor", 1.0);
   cli.add_flag("deadline-ms", "hard per-transaction deadline (0 = none)",
                std::int64_t{10'000});
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
   run.duration_ms = cli.get_int("ms");
   run.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   run.backend = cli.get_string("backend");
+  run.arbitration = cli.get_string("arbitration");
   run.liveness.enabled = true;
   run.liveness.deadline_ns = cli.get_int("deadline-ms") * 1'000'000;
   run.chaos = resilience::default_chaos(cli.get_double("intensity"));

@@ -39,6 +39,10 @@ void add_config_flags(wstm::Cli& cli, const CheckConfig& d) {
                static_cast<std::int64_t>(d.key_range));
   cli.add_flag("backend", "execution engine: dstm (eager locator) | orec (lazy TL2-style)",
                d.backend);
+  cli.add_flag("arbitration",
+               "conflict arbitration: abort (requester-wins/aborts) | wait "
+               "(requester parks on the enemy; adds kPark/kUnpark points)",
+               d.arbitration);
   cli.add_flag("visible-reads", "visible (true) or invisible (false) read mode",
                d.visible_reads);
   cli.add_flag("snapshot-ext",
@@ -76,7 +80,8 @@ void add_config_flags(wstm::Cli& cli, const CheckConfig& d) {
                d.liveness);
   cli.add_flag("bug",
                "seeded protocol bug: none|blind-commit|skip-reader-abort|"
-               "skip-cas-recheck|stamp-no-pending|skip-read-validation (orec)",
+               "skip-cas-recheck|stamp-no-pending|skip-read-validation (orec)|"
+               "park-lost-wakeup (arbitration=wait)",
                d.bug);
 }
 
@@ -88,6 +93,7 @@ CheckConfig config_from_cli(const wstm::Cli& cli) {
   c.ops_per_thread = static_cast<unsigned>(cli.get_int("ops"));
   c.key_range = cli.get_int("key-range");
   c.backend = cli.get_string("backend");
+  c.arbitration = cli.get_string("arbitration");
   c.visible_reads = cli.get_bool("visible-reads");
   c.snapshot_ext = cli.get_bool("snapshot-ext");
   c.deferred_clock = cli.get_bool("deferred-clock");

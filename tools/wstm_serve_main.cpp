@@ -85,6 +85,8 @@ int main(int argc, char** argv) {
   cli.add_flag("zipf-alpha", "Zipf skew of the key draw (0 = uniform)", 1.2);
   cli.add_flag("seed", "base RNG seed", std::int64_t{42});
   cli.add_flag("backend", "execution engine: dstm | orec", std::string("dstm"));
+  cli.add_flag("arbitration", "conflict arbitration: abort | wait (requester-waits parking)",
+               std::string("abort"));
   cli.add_flag("saturate", "search for the highest sustained arrival rate", false);
   cli.add_flag("sustain-fraction",
                "--saturate: a rate is sustained when completions reach this fraction of "
@@ -103,6 +105,7 @@ int main(int argc, char** argv) {
   cfg.run.duration_ms = cli.get_int("ms");
   cfg.run.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   cfg.run.backend = cli.get_string("backend");
+  cfg.run.arbitration = cli.get_string("arbitration");
   cfg.serve.policy = cli.get_string("policy");
   cfg.serve.producers = static_cast<unsigned>(cli.get_int("producers"));
   cfg.serve.n_queues = static_cast<unsigned>(cli.get_int("queues"));
